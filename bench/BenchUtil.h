@@ -1,0 +1,88 @@
+//===- bench/BenchUtil.h - Shared benchmark helpers -------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_BENCH_BENCHUTIL_H
+#define GNT_BENCH_BENCHUTIL_H
+
+#include "baseline/Baselines.h"
+#include "baseline/LazyCodeMotion.h"
+#include "cfg/CfgBuilder.h"
+#include "comm/CommGen.h"
+#include "frontend/Parser.h"
+#include "gen/RandomProgram.h"
+#include "interval/IntervalFlowGraph.h"
+#include "sim/TraceSimulator.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace gnt::bench {
+
+/// A fully built analysis pipeline for one program.
+struct Built {
+  Program Prog;
+  Cfg G;
+  IntervalFlowGraph Ifg;
+};
+
+inline Built buildSource(const std::string &Source) {
+  Built B;
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.success())
+    throw std::runtime_error("parse: " + Parsed.Errors.front());
+  B.Prog = std::move(Parsed.Prog);
+  CfgBuildResult CfgRes = buildCfg(B.Prog);
+  if (!CfgRes.success())
+    throw std::runtime_error("cfg: " + CfgRes.Errors.front());
+  B.G = std::move(CfgRes.G);
+  auto IfgRes = IntervalFlowGraph::build(B.G);
+  if (!IfgRes.success())
+    throw std::runtime_error("ifg: " + IfgRes.Errors.front());
+  B.Ifg = std::move(*IfgRes.Ifg);
+  return B;
+}
+
+inline Built buildRandom(unsigned Seed, unsigned Stmts, unsigned Depth = 4) {
+  Built B;
+  GenConfig C;
+  C.Seed = Seed;
+  C.TargetStmts = Stmts;
+  C.MaxDepth = Depth;
+  B.Prog = generateRandomProgram(C);
+  CfgBuildResult CfgRes = buildCfg(B.Prog);
+  if (!CfgRes.success())
+    throw std::runtime_error("cfg: " + CfgRes.Errors.front());
+  B.G = std::move(CfgRes.G);
+  auto IfgRes = IntervalFlowGraph::build(B.G);
+  if (!IfgRes.success())
+    throw std::runtime_error("ifg: " + IfgRes.Errors.front());
+  B.Ifg = std::move(*IfgRes.Ifg);
+  return B;
+}
+
+/// Runs a plan and prints one comparison row.
+inline SimStats runRow(const char *Name, const Built &B, const CommPlan &Plan,
+                       SimConfig Config, bool Print = true) {
+  SimStats S = simulate(B.Prog, Plan, Config);
+  if (Print)
+    std::printf("  %-12s | %8llu | %8llu | %10.0f | %9.0f | %9llu | %s\n",
+                Name, S.Messages, S.Volume, S.ExposedLatency,
+                S.totalTime(Config), S.Redundant,
+                S.ok() ? "ok" : S.Errors.front().c_str());
+  return S;
+}
+
+inline void rowHeader() {
+  std::printf("  %-12s | %8s | %8s | %10s | %9s | %9s |\n", "strategy",
+              "messages", "volume", "exposed", "time", "redundant");
+  std::printf("  -------------+----------+----------+------------+-----------"
+              "+-----------+\n");
+}
+
+} // namespace gnt::bench
+
+#endif // GNT_BENCH_BENCHUTIL_H

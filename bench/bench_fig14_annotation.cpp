@@ -1,0 +1,149 @@
+//===- bench/bench_fig14_annotation.cpp - Experiment E5 ---------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E5 (DESIGN.md): the full Figure 11 -> Figure 14 pipeline —
+// jump out of a loop, balanced sends on both exit paths, receives merged
+// at label 77. Prints the regenerated annotation, measures its dynamic
+// behavior over both goto outcomes, and times every pipeline stage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gnt;
+using namespace gnt::bench;
+
+namespace {
+
+const char *Fig11 = R"(
+distribute x, y
+array a, b, w, z
+do i = 1, n
+  y(a(i)) = 0
+  if (test(i)) goto 77
+enddo
+do j = 1, n
+  w(j) = 0
+enddo
+77 do k = 1, n
+  z(k) = x(k + 10) + y(b(k))
+enddo
+)";
+
+void report() {
+  std::printf("== E5: Figure 11 -> Figure 14 (the paper's running example)"
+              " ==\n\n");
+  Built B = buildSource(Fig11);
+  CommPlan Gnt = generateComm(B.Prog, B.G, B.Ifg);
+  std::printf("--- regenerated annotation ---\n%s\n",
+              Gnt.annotate(B.Prog).c_str());
+
+  CommPlan Naive = naivePlacement(B.Prog, B.G, B.Ifg);
+  std::printf("--- dynamic comparison, N = 256, averaged over 8 goto"
+              " outcomes ---\n");
+  rowHeader();
+  for (auto [Name, Plan] :
+       {std::pair<const char *, const CommPlan *>{"naive", &Naive},
+        {"give-n-take", &Gnt}}) {
+    SimStats Sum;
+    SimConfig Config;
+    Config.Params["n"] = 256;
+    Config.Latency = 100.0;
+    for (unsigned Seed = 1; Seed <= 8; ++Seed) {
+      Config.BranchSeed = Seed;
+      SimStats S = simulate(B.Prog, *Plan, Config);
+      Sum.Messages += S.Messages;
+      Sum.Volume += S.Volume;
+      Sum.ExposedLatency += S.ExposedLatency;
+      Sum.Work += S.Work;
+      Sum.Redundant += S.Redundant;
+      if (!S.ok())
+        Sum.Errors = S.Errors;
+    }
+    Sum.Messages /= 8;
+    Sum.Volume /= 8;
+    Sum.ExposedLatency /= 8;
+    Sum.Work /= 8;
+    Sum.Redundant /= 8;
+    std::printf("  %-12s | %8llu | %8llu | %10.0f | %9.0f | %9llu | %s\n",
+                Name, Sum.Messages, Sum.Volume, Sum.ExposedLatency,
+                Sum.totalTime(Config), Sum.Redundant,
+                Sum.ok() ? "ok" : Sum.Errors.front().c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_ParseFig11(benchmark::State &State) {
+  for (auto _ : State) {
+    ParseResult R = parseProgram(Fig11);
+    benchmark::DoNotOptimize(R.Prog.getBody().size());
+  }
+}
+BENCHMARK(BM_ParseFig11);
+
+void BM_CfgFig11(benchmark::State &State) {
+  ParseResult R = parseProgram(Fig11);
+  for (auto _ : State) {
+    CfgBuildResult C = buildCfg(R.Prog);
+    benchmark::DoNotOptimize(C.G.size());
+  }
+}
+BENCHMARK(BM_CfgFig11);
+
+void BM_IntervalFig11(benchmark::State &State) {
+  ParseResult R = parseProgram(Fig11);
+  for (auto _ : State) {
+    CfgBuildResult C = buildCfg(R.Prog);
+    auto Ifg = IntervalFlowGraph::build(C.G);
+    benchmark::DoNotOptimize(Ifg.Ifg->size());
+  }
+}
+BENCHMARK(BM_IntervalFig11);
+
+void BM_SolveFig11Read(benchmark::State &State) {
+  Built B = buildSource(Fig11);
+  RefAnalysisResult Refs = analyzeReferences(B.Prog, B.G);
+  GntProblem Read, Write;
+  buildCommProblems(Refs, B.G, B.Ifg, CommOptions(), Read, Write);
+  for (auto _ : State) {
+    GntRun Run = runGiveNTake(B.Ifg, Read);
+    benchmark::DoNotOptimize(Run.Result.Eager.ResIn.size());
+  }
+}
+BENCHMARK(BM_SolveFig11Read);
+
+void BM_SolveFig11Write(benchmark::State &State) {
+  Built B = buildSource(Fig11);
+  RefAnalysisResult Refs = analyzeReferences(B.Prog, B.G);
+  GntProblem Read, Write;
+  buildCommProblems(Refs, B.G, B.Ifg, CommOptions(), Read, Write);
+  for (auto _ : State) {
+    GntRun Run = runGiveNTake(B.Ifg, Write);
+    benchmark::DoNotOptimize(Run.Result.Eager.ResIn.size());
+  }
+}
+BENCHMARK(BM_SolveFig11Write);
+
+void BM_AnnotateFig11(benchmark::State &State) {
+  Built B = buildSource(Fig11);
+  CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+  for (auto _ : State) {
+    std::string Out = Plan.annotate(B.Prog);
+    benchmark::DoNotOptimize(Out.size());
+  }
+}
+BENCHMARK(BM_AnnotateFig11);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

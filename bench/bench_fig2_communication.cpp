@@ -1,0 +1,94 @@
+//===- bench/bench_fig2_communication.cpp - Experiment E1 -------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E1 (DESIGN.md): the paper's Figure 1 -> Figure 2 claim. The
+// naive placement exchanges N messages with no latency hiding; the
+// GIVE-N-TAKE placement needs exactly one message and hides its latency
+// behind the independent i loop. Regenerates the comparison for a sweep
+// of N and benchmarks the analysis itself.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gnt;
+using namespace gnt::bench;
+
+namespace {
+
+const char *Fig1 = R"(
+distribute x
+array a, y, z, u
+do i = 1, n
+  y(i) = 1
+enddo
+if (test) then
+  do j = 1, n
+    z(j) = 1
+  enddo
+  do k = 1, n
+    u(k) = x(a(k))
+  enddo
+else
+  do l = 1, n
+    u(l) = x(a(l))
+  enddo
+endif
+)";
+
+void report() {
+  std::printf("== E1: Figure 1 -> Figure 2 (READ placement quality) ==\n");
+  std::printf("Paper claim: naive = N messages, no hiding; GIVE-N-TAKE = 1\n"
+              "message, latency hidden behind the i loop.\n\n");
+  Built B = buildSource(Fig1);
+  CommPlan Gnt = generateComm(B.Prog, B.G, B.Ifg);
+  CommPlan Naive = naivePlacement(B.Prog, B.G, B.Ifg);
+  CommPlan Vec = vectorizedPlacement(B.Prog, B.G, B.Ifg);
+  CommPlan Lcm = lcmPlacement(B.Prog, B.G, B.Ifg);
+
+  for (long long N : {16, 64, 256, 1024}) {
+    SimConfig Config;
+    Config.Params["n"] = N;
+    Config.Params["test"] = 1;
+    Config.Latency = 100.0;
+    std::printf("N = %lld:\n", N);
+    rowHeader();
+    runRow("naive", B, Naive, Config);
+    runRow("lcm", B, Lcm, Config);
+    runRow("vectorized", B, Vec, Config);
+    runRow("give-n-take", B, Gnt, Config);
+    std::printf("\n");
+  }
+}
+
+void BM_Fig2GntAnalysis(benchmark::State &State) {
+  Built B = buildSource(Fig1);
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_Fig2GntAnalysis);
+
+void BM_Fig2Pipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    Built B = buildSource(Fig1);
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_Fig2Pipeline);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench/bench_fig3_write_read.cpp - Experiment E2 ----------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E2 (DESIGN.md): the paper's Figure 3 — WRITE generation as
+// an AFTER problem, with local definitions satisfying later reads "for
+// free". Regenerates the placement, compares against baselines that
+// cannot exploit the free definitions, and sweeps the owner-computes
+// option.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gnt;
+using namespace gnt::bench;
+
+namespace {
+
+const char *Fig3 = R"(
+distribute x
+array a, y, w
+if (test) then
+  do i = 1, n
+    x(a(i)) = 1
+  enddo
+  do j = 1, n
+    y(j) = x(j + 5)
+  enddo
+endif
+do k = 1, n
+  w(k) = x(k + 5)
+enddo
+)";
+
+void report() {
+  std::printf("== E2: Figure 3 (WRITE placement + free definitions) ==\n");
+  std::printf("Paper claim: one Write_Send/Recv pair for x(a(1:N)) between\n"
+              "the loops; READs of x(6:N+5) once per path.\n\n");
+  Built B = buildSource(Fig3);
+  CommPlan Gnt = generateComm(B.Prog, B.G, B.Ifg);
+  CommPlan Naive = naivePlacement(B.Prog, B.G, B.Ifg);
+  CommPlan Vec = vectorizedPlacement(B.Prog, B.G, B.Ifg);
+  CommPlan Lcm = lcmPlacement(B.Prog, B.G, B.Ifg);
+
+  for (long long Test : {1, 0}) {
+    SimConfig Config;
+    Config.Params["n"] = 256;
+    Config.Params["test"] = Test;
+    Config.Latency = 100.0;
+    std::printf("N = 256, branch %s:\n", Test ? "taken" : "not taken");
+    rowHeader();
+    runRow("naive", B, Naive, Config);
+    runRow("lcm", B, Lcm, Config);
+    runRow("vectorized", B, Vec, Config);
+    runRow("give-n-take", B, Gnt, Config);
+    std::printf("\n");
+  }
+
+  // Static placement counts: the shape of Figure 3's answer.
+  auto Counts = Gnt.staticCounts();
+  std::printf("static GIVE-N-TAKE placements: %u Write_Send, %u Write_Recv, "
+              "%u Read_Send, %u Read_Recv\n\n",
+              Counts[CommOpKind::WriteSend], Counts[CommOpKind::WriteRecv],
+              Counts[CommOpKind::ReadSend], Counts[CommOpKind::ReadRecv]);
+}
+
+void BM_Fig3BothProblems(benchmark::State &State) {
+  Built B = buildSource(Fig3);
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_Fig3BothProblems);
+
+void BM_Fig3OwnerComputes(benchmark::State &State) {
+  Built B = buildSource(Fig3);
+  CommOptions Opts;
+  Opts.OwnerComputes = true;
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg, Opts);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_Fig3OwnerComputes);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+//===- bench/bench_placement_quality.cpp - Experiment E9 --------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E9 (DESIGN.md): placement-quality sweep over a suite of
+// generated data-parallel programs. For each strategy we aggregate
+// dynamic messages, volume, redundant transfers and exposed latency.
+// Expected shape (paper Section 2): naive >> lcm > vectorized >
+// give-n-take in message count; only give-n-take both eliminates
+// redundancy (O1, free definitions) and hides latency (split
+// send/receive).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gnt;
+using namespace gnt::bench;
+
+namespace {
+
+struct Aggregate {
+  double Messages = 0, Volume = 0, Exposed = 0, Redundant = 0, Wasted = 0,
+         Time = 0;
+  unsigned Errors = 0;
+};
+
+void accumulate(Aggregate &A, const SimStats &S, const SimConfig &C) {
+  A.Messages += static_cast<double>(S.Messages);
+  A.Volume += static_cast<double>(S.Volume);
+  A.Exposed += S.ExposedLatency;
+  A.Redundant += static_cast<double>(S.Redundant);
+  A.Wasted += static_cast<double>(S.Wasted);
+  A.Time += S.totalTime(C);
+  A.Errors += S.ok() ? 0 : 1;
+}
+
+Built buildSuite(unsigned Seed, bool Jumps) {
+  GenConfig C;
+  C.Seed = Seed;
+  C.TargetStmts = 45;
+  C.GotoProb = Jumps ? 0.1 : 0.0;
+  Built B;
+  B.Prog = generateRandomProgram(C);
+  CfgBuildResult CfgRes = buildCfg(B.Prog);
+  B.G = std::move(CfgRes.G);
+  auto IfgRes = IntervalFlowGraph::build(B.G);
+  B.Ifg = std::move(*IfgRes.Ifg);
+  return B;
+}
+
+void reportSuite(const char *Title, bool Jumps) {
+  constexpr unsigned Seeds = 24;
+  Aggregate Agg[4];
+  const char *Names[4] = {"naive", "lcm", "vectorized", "give-n-take"};
+
+  for (unsigned Seed = 1; Seed <= Seeds; ++Seed) {
+    Built B = buildSuite(Seed, Jumps);
+    CommPlan Plans[4] = {
+        naivePlacement(B.Prog, B.G, B.Ifg),
+        lcmPlacement(B.Prog, B.G, B.Ifg),
+        vectorizedPlacement(B.Prog, B.G, B.Ifg),
+        generateComm(B.Prog, B.G, B.Ifg),
+    };
+    SimConfig Config;
+    Config.Params["n"] = 32;
+    Config.Latency = 100.0;
+    Config.BranchSeed = Seed;
+    for (unsigned I = 0; I != 4; ++I)
+      accumulate(Agg[I], simulate(B.Prog, Plans[I], Config), Config);
+  }
+
+  std::printf("%s\n", Title);
+  std::printf("  %-12s | %10s | %10s | %12s | %10s | %8s | %12s | %s\n",
+              "strategy", "messages", "volume", "exposed", "redundant",
+              "wasted", "total time", "errors");
+  for (unsigned I = 0; I != 4; ++I)
+    std::printf("  %-12s | %10.0f | %10.0f | %12.0f | %10.0f | %8.0f | "
+                "%12.0f | %u\n",
+                Names[I], Agg[I].Messages, Agg[I].Volume, Agg[I].Exposed,
+                Agg[I].Redundant, Agg[I].Wasted, Agg[I].Time,
+                Agg[I].Errors);
+  std::printf("\n");
+}
+
+void report() {
+  std::printf("== E9: placement quality over 24 random programs ==\n"
+              "(totals, N = 32, latency = 100)\n\n");
+  reportSuite("-- structured suite (no gotos out of loops) --", false);
+  reportSuite("-- jump suite (gotos out of loops; GIVE-N-TAKE's AFTER\n"
+              "   problems fall back to the paper's conservative Section\n"
+              "   5.3 treatment) --",
+              true);
+}
+
+void BM_QualityPipelineGnt(benchmark::State &State) {
+  Built B = buildRandom(static_cast<unsigned>(State.range(0)), 45);
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_QualityPipelineGnt)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_QualityPipelineLcm(benchmark::State &State) {
+  Built B = buildRandom(static_cast<unsigned>(State.range(0)), 45);
+  for (auto _ : State) {
+    CommPlan Plan = lcmPlacement(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_QualityPipelineLcm)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Simulate(benchmark::State &State) {
+  Built B = buildRandom(1, 45);
+  CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+  SimConfig Config;
+  Config.Params["n"] = 32;
+  for (auto _ : State) {
+    SimStats S = simulate(B.Prog, Plan, Config);
+    benchmark::DoNotOptimize(S.Messages);
+  }
+}
+BENCHMARK(BM_Simulate);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- bench/bench_zero_trip.cpp - Experiment E10 ---------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Experiment E10 (DESIGN.md): the zero-trip hoisting trade-off (paper
+// Sections 1, 2, 4.1). Hoisting communication above a potentially
+// zero-trip loop wins whenever the loop runs (1 vectorized message
+// instead of per-iteration traffic, plus hiding) and costs one wasted
+// message when it does not. The per-case opt-out (NoHoist headers /
+// STEAL_init) trades that waste for per-iteration communication.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gnt;
+using namespace gnt::bench;
+
+namespace {
+
+const char *Kernel = R"(
+distribute x
+array u, w
+do i = 1, warm
+  w(i) = i
+enddo
+do k = 1, m
+  u(k) = x(k + 2)
+enddo
+)";
+
+void report() {
+  std::printf("== E10: zero-trip hoisting trade-off ==\n\n");
+  Built B = buildSource(Kernel);
+  CommPlan Hoisting = generateComm(B.Prog, B.G, B.Ifg);
+  CommOptions Off;
+  Off.HoistZeroTrip = false;
+  CommPlan NoHoist = generateComm(B.Prog, B.G, B.Ifg, Off);
+  CommPlan Lcm = lcmPlacement(B.Prog, B.G, B.Ifg);
+
+  std::printf("  %6s | %-12s | %8s | %8s | %8s | %8s\n", "m", "strategy",
+              "messages", "volume", "wasted", "exposed");
+  for (long long M : {0, 1, 16, 256}) {
+    SimConfig Config;
+    Config.Params["m"] = M;
+    Config.Params["warm"] = 300;
+    Config.Latency = 100.0;
+    for (auto [Name, Plan] :
+         {std::pair<const char *, const CommPlan *>{"hoist", &Hoisting},
+          {"no-hoist", &NoHoist},
+          {"lcm", &Lcm}}) {
+      SimStats S = simulate(B.Prog, *Plan, Config);
+      std::printf("  %6lld | %-12s | %8llu | %8llu | %8llu | %8.0f%s\n", M,
+                  Name, S.Messages, S.Volume, S.Wasted, S.ExposedLatency,
+                  S.ok() ? "" : "  ERROR");
+    }
+  }
+  std::printf(
+      "\nExpected shape: with m = 0, hoisting wastes exactly one message\n"
+      "(the over-communication the paper accepts); with m > 0 it sends one\n"
+      "hidden message where no-hoist and lcm pay per-iteration traffic.\n\n");
+}
+
+void BM_HoistAnalysis(benchmark::State &State) {
+  Built B = buildSource(Kernel);
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_HoistAnalysis);
+
+void BM_NoHoistAnalysis(benchmark::State &State) {
+  Built B = buildSource(Kernel);
+  CommOptions Off;
+  Off.HoistZeroTrip = false;
+  for (auto _ : State) {
+    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg, Off);
+    benchmark::DoNotOptimize(Plan.Anchored.size());
+  }
+}
+BENCHMARK(BM_NoHoistAnalysis);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/irregular_mesh.cpp - Irregular gather/scatter kernel --------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The workload class that motivated GIVE-N-TAKE inside the Fortran D
+// compiler (the paper's [HKK+92]/[Han93] heritage): an unstructured-mesh
+// sweep. Each edge e gathers values from its two endpoint nodes through
+// indirection arrays (left(e), right(e)) and scatter-adds a flux back —
+// a reduction. The paper's machinery shows up all at once:
+//
+//  - indirect sections x(left(1:e)) value-numbered across loops,
+//  - one vectorized gather, issued early enough to hide latency behind
+//    the purely local geometry loop,
+//  - scatter-add write-backs as Write_Send[+]/Write_Recv[+] reductions,
+//  - the write-backs ordered before the next iteration's gather.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Baselines.h"
+#include "cfg/CfgBuilder.h"
+#include "comm/CommGen.h"
+#include "frontend/Parser.h"
+#include "interval/IntervalFlowGraph.h"
+#include "sim/TraceSimulator.h"
+
+#include <cstdio>
+
+using namespace gnt;
+
+int main() {
+  // x: node values; flux: node accumulators (both distributed).
+  // left/right: edge endpoint indices; len/tmp: local per-edge data.
+  const char *Source = R"(
+distribute x, flux
+array left, right, len, tmp
+do e = 1, edges
+  len(e) = left(e) - right(e)
+  tmp(e) = 3 * len(e)
+enddo
+do e = 1, edges
+  flux(left(e)) = flux(left(e)) + x(right(e))
+enddo
+do e = 1, edges
+  flux(right(e)) = flux(right(e)) + x(left(e))
+enddo
+)";
+
+  std::printf("=== Irregular mesh sweep (input) ===\n%s\n", Source);
+
+  ParseResult Parsed = parseProgram(Source);
+  CfgBuildResult CfgRes = buildCfg(Parsed.Prog);
+  auto IfgRes = IntervalFlowGraph::build(CfgRes.G);
+  if (!Parsed.success() || !CfgRes.success() || !IfgRes.success()) {
+    std::fprintf(stderr, "pipeline failed\n");
+    return 1;
+  }
+
+  CommPlan Plan = generateComm(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+  std::printf("=== GIVE-N-TAKE placement ===\n%s\n",
+              Plan.annotate(Parsed.Prog).c_str());
+
+  GntVerifyResult V = Plan.verify();
+  std::printf("verification: %s\n\n",
+              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+
+  CommPlan Naive = naivePlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+  std::printf("=== Execution (edges = 5000, latency = 400) ===\n");
+  std::printf("  %-12s | %9s | %9s | %10s | %10s\n", "strategy", "messages",
+              "volume", "exposed", "total");
+  for (auto [Name, P] :
+       {std::pair<const char *, const CommPlan *>{"naive", &Naive},
+        {"give-n-take", &Plan}}) {
+    SimConfig Config;
+    Config.Params["edges"] = 5000;
+    Config.Latency = 400.0;
+    SimStats S = simulate(Parsed.Prog, *P, Config);
+    std::printf("  %-12s | %9llu | %9llu | %10.0f | %10.0f  %s\n", Name,
+                S.Messages, S.Volume, S.ExposedLatency, S.totalTime(Config),
+                S.ok() ? "" : S.Errors.front().c_str());
+  }
+  return V.ok() ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+//===- examples/pre_cse.cpp - Classical PRE via GIVE-N-TAKE -----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's generality claim (Sections 1 and 6): classical partial
+// redundancy elimination is "a LAZY, BEFORE problem" of the same
+// framework that places communication. This example runs common
+// subexpression elimination and loop-invariant code motion on a scalar
+// program — including the hoist out of a potentially zero-trip DO loop
+// that classical PRE (e.g. lazy code motion) must forgo.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+#include "frontend/Parser.h"
+#include "interval/IntervalFlowGraph.h"
+#include "pre/ExprPre.h"
+
+#include <cstdio>
+
+using namespace gnt;
+
+int main() {
+  const char *Source = R"(
+array u, v
+c = n * 8
+do i = 1, m
+  u(i) = n * 8 + i
+  v(i) = n * 8 + i
+enddo
+if (t(n)) then
+  w = n * 8
+else
+  w = c + 1
+endif
+z = c + 1
+)";
+
+  std::printf("=== Input program ===\n%s\n", Source);
+
+  ParseResult Parsed = parseProgram(Source);
+  CfgBuildResult CfgRes = buildCfg(Parsed.Prog);
+  auto IfgRes = IntervalFlowGraph::build(CfgRes.G);
+  if (!Parsed.success() || !CfgRes.success() || !IfgRes.success()) {
+    std::fprintf(stderr, "pipeline failed\n");
+    return 1;
+  }
+
+  ExprPreResult Pre = runExprPre(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+
+  std::printf("=== With temporaries placed (LAZY solution) ===\n%s\n",
+              Pre.annotate(Parsed.Prog).c_str());
+
+  std::printf("=== Expression items ===\n");
+  for (unsigned I = 0; I != Pre.Exprs.size(); ++I)
+    std::printf("t%-3u %-20s  %u occurrence(s)\n", I, Pre.Exprs[I].c_str(),
+                Pre.Occurrences[I]);
+
+  std::printf("\n%zu insertions, %zu redundant occurrences eliminated\n",
+              Pre.Insertions.size(), Pre.Redundant.size());
+
+  GntVerifyResult V = Pre.verify();
+  std::printf("verification: %s\n",
+              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+
+  // Highlights to look for in the output above:
+  //  - `n * 8` is computed once at the top and reused by the assignment
+  //    to c, by both loop statements (hoisted above the potentially
+  //    zero-trip i loop), and by the then-branch of the conditional;
+  //  - `c + 1` is computed once and shared by the else branch and the
+  //    final statement (partial redundancy across the join);
+  //  - `n * 8 + i` varies with i, so its temporary stays inside the loop
+  //    but is shared by the two statements of the body.
+  return V.ok() ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+//===- examples/quickstart.cpp - Five-minute tour ---------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quickstart: parse an FMini program with distributed arrays, run
+// GIVE-N-TAKE communication generation, print the annotated program, and
+// execute it under the distributed-memory cost model.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "comm/CommGen.h"
+#include "frontend/Parser.h"
+#include "cfg/CfgBuilder.h"
+#include "interval/IntervalFlowGraph.h"
+#include "sim/TraceSimulator.h"
+
+#include <cstdio>
+
+using namespace gnt;
+
+int main() {
+  // A data-parallel kernel: x is distributed across processors; every
+  // reference to it needs communication. The loop-invariant section
+  // x(1:n) is consumed inside a potentially zero-trip loop.
+  const char *Source = R"(
+distribute x
+array u, w
+do i = 1, n
+  u(i) = 2 * i
+enddo
+do j = 1, n
+  w(j) = x(j) + u(j)
+enddo
+)";
+
+  std::printf("=== Input program ===\n%s\n", Source);
+
+  // Front end: parse, build the CFG, build the interval flow graph.
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.success()) {
+    std::fprintf(stderr, "parse error: %s\n", Parsed.Errors.front().c_str());
+    return 1;
+  }
+  CfgBuildResult CfgRes = buildCfg(Parsed.Prog);
+  if (!CfgRes.success()) {
+    std::fprintf(stderr, "cfg error: %s\n", CfgRes.Errors.front().c_str());
+    return 1;
+  }
+  auto IfgRes = IntervalFlowGraph::build(CfgRes.G);
+  if (!IfgRes.success()) {
+    std::fprintf(stderr, "interval error: %s\n",
+                 IfgRes.Errors.front().c_str());
+    return 1;
+  }
+
+  // The GIVE-N-TAKE framework: READs are a BEFORE problem (Read_Send =
+  // EAGER solution, Read_Recv = LAZY solution), WRITEs an AFTER problem.
+  CommPlan Plan = generateComm(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+
+  std::printf("=== Annotated program ===\n%s\n",
+              Plan.annotate(Parsed.Prog).c_str());
+
+  // The placement is verified against the paper's correctness criteria:
+  // C1 balance, C3 sufficiency, O1 no re-production.
+  GntVerifyResult V = Plan.verify();
+  std::printf("=== Verification ===\n%s\n",
+              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+
+  // Execute under an alpha/beta message cost model. The Read_Send issued
+  // before the first loop overlaps its latency with the u(i) loop.
+  SimConfig Config;
+  Config.Params["n"] = 100;
+  Config.Latency = 80.0;
+  SimStats Stats = simulate(Parsed.Prog, Plan, Config);
+
+  std::printf("=== Simulated execution (n = 100, latency = 80) ===\n");
+  std::printf("messages:          %llu\n", Stats.Messages);
+  std::printf("elements moved:    %llu\n", Stats.Volume);
+  std::printf("local work:        %.0f\n", Stats.Work);
+  std::printf("exposed latency:   %.0f  (hidden behind the u(i) loop)\n",
+              Stats.ExposedLatency);
+  std::printf("total time:        %.0f\n", Stats.totalTime(Config));
+  return Stats.ok() && V.ok() ? 0 : 1;
+}

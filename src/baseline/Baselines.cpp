@@ -1,0 +1,152 @@
+//===- baseline/Baselines.cpp - Comparison placements -----------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Baselines.h"
+
+#include <set>
+
+using namespace gnt;
+
+namespace {
+
+/// Appends (Kind, Item) at \p Key if not already present there.
+void addOnce(CommPlan &Plan, const AnchorKey &Key, CommOpKind Kind,
+             unsigned Item) {
+  for (const CommOp &Op : Plan.Anchored[Key])
+    if (Op.Kind == Kind && Op.Item == Item)
+      return;
+  Plan.Anchored[Key].push_back({Kind, Item});
+}
+
+CommPlan makeBasePlan(const Program &P, const Cfg &G,
+                      const IntervalFlowGraph &Ifg) {
+  CommPlan Plan;
+  Plan.Refs = analyzeReferences(P, G);
+  buildCommProblems(Plan.Refs, G, Ifg, CommOptions(), Plan.ReadProblem,
+                    Plan.WriteProblem);
+  return Plan;
+}
+
+} // namespace
+
+CommPlan gnt::naivePlacement(const Program &P, const Cfg &G,
+                             const IntervalFlowGraph &Ifg) {
+  CommPlan Plan = makeBasePlan(P, G, Ifg);
+  Plan.ElementMessages = true;
+
+  for (NodeId N = 0; N != G.size(); ++N) {
+    const CfgNode &Node = G.node(N);
+    if (!Node.EmitStmt)
+      continue;
+    const NodeRefs &R = Plan.Refs.PerNode[N];
+    // A send/receive pair immediately before every reference...
+    std::set<unsigned> Seen;
+    for (unsigned Use : R.Uses) {
+      if (!Seen.insert(Use).second)
+        continue;
+      AnchorKey Key{Node.EmitStmt, Node.Where};
+      Plan.Anchored[Key].push_back({CommOpKind::ReadSend, Use});
+      Plan.Anchored[Key].push_back({CommOpKind::ReadRecv, Use});
+    }
+    // ... and a write-back pair immediately after every definition.
+    Seen.clear();
+    for (unsigned Def : R.Defs) {
+      if (!Seen.insert(Def).second)
+        continue;
+      AnchorKey Key{Node.EmitStmt,
+                    Node.Where == EmitWhere::Before ? EmitWhere::After
+                                                    : Node.Where};
+      Plan.Anchored[Key].push_back({CommOpKind::WriteSend, Def});
+      Plan.Anchored[Key].push_back({CommOpKind::WriteRecv, Def});
+    }
+  }
+  return Plan;
+}
+
+CommPlan gnt::vectorizedPlacement(const Program &P, const Cfg &G,
+                                  const IntervalFlowGraph &Ifg) {
+  CommPlan Plan = makeBasePlan(P, G, Ifg);
+
+  // Precompute, per loop header, whether any interval member (or the
+  // header itself) steals a given item.
+  auto stolenWithin = [&](NodeId Header, unsigned Item,
+                          const GntProblem &Prob) {
+    if (Prob.StealInit[Header].test(Item))
+      return true;
+    for (NodeId M = 0; M != G.size(); ++M) {
+      if (M == Header)
+        continue;
+      // Member of T(Header) at any depth?
+      NodeId Cur = Ifg.parent(M);
+      bool Inside = false;
+      while (Cur != InvalidNode) {
+        if (Cur == Header) {
+          Inside = true;
+          break;
+        }
+        Cur = Ifg.parent(Cur);
+      }
+      if (Inside && Prob.StealInit[M].test(Item))
+        return true;
+    }
+    return false;
+  };
+
+  /// Hoists from node \p N to the outermost enclosing loop header with no
+  /// conflicting steal inside; returns InvalidNode if no hoisting is
+  /// possible.
+  auto jumpPoisoned = [&](NodeId H) {
+    for (NodeId P : Ifg.jumpPoisonedHeaders())
+      if (P == H)
+        return true;
+    return false;
+  };
+
+  auto hoistTarget = [&](NodeId N, unsigned Item, const GntProblem &Prob) {
+    NodeId Best = InvalidNode;
+    NodeId H = Ifg.parent(N);
+    while (H != InvalidNode && H != Ifg.root()) {
+      if (!Ifg.isHeader(H))
+        break;
+      // A goto can leave this loop, skipping anything hoisted to its
+      // boundary; keep the communication at the reference.
+      if (jumpPoisoned(H))
+        break;
+      if (stolenWithin(H, Item, Prob))
+        break;
+      Best = H;
+      H = Ifg.parent(H);
+    }
+    return Best;
+  };
+
+  for (NodeId N = 0; N != G.size(); ++N) {
+    const CfgNode &Node = G.node(N);
+    if (!Node.EmitStmt)
+      continue;
+    const NodeRefs &R = Plan.Refs.PerNode[N];
+    for (unsigned Use : R.Uses) {
+      NodeId H = hoistTarget(N, Use, Plan.ReadProblem);
+      AnchorKey Key = H == InvalidNode
+                          ? AnchorKey{Node.EmitStmt, Node.Where}
+                          : AnchorKey{G.node(H).EmitStmt, EmitWhere::Before};
+      addOnce(Plan, Key, CommOpKind::ReadSend, Use);
+      addOnce(Plan, Key, CommOpKind::ReadRecv, Use);
+    }
+    for (unsigned Def : R.Defs) {
+      NodeId H = hoistTarget(N, Def, Plan.WriteProblem);
+      AnchorKey Key =
+          H == InvalidNode
+              ? AnchorKey{Node.EmitStmt,
+                          Node.Where == EmitWhere::Before ? EmitWhere::After
+                                                          : Node.Where}
+              : AnchorKey{G.node(H).EmitStmt, EmitWhere::After};
+      addOnce(Plan, Key, CommOpKind::WriteSend, Def);
+      addOnce(Plan, Key, CommOpKind::WriteRecv, Def);
+    }
+  }
+  return Plan;
+}

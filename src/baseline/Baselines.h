@@ -1,0 +1,43 @@
+//===- baseline/Baselines.h - Comparison placements -------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The comparison points for the paper's motivating claims (Section 2):
+///
+///  - *naive*: a Read_Send/Read_Recv pair immediately before every
+///    reference and a Write pair after every definition — one message per
+///    element per execution, no latency hiding (Figure 2 left);
+///  - *vectorized*: classic per-reference message vectorization — each
+///    reference's communication is hoisted to the outermost enclosing
+///    loop whose body contains no conflicting definition; whole sections
+///    per message, but no redundancy elimination across references, no
+///    "free" definitions, no send/receive splitting;
+///  - *LCM* (see LazyCodeMotion.h): classical PRE placement — atomic,
+///    safety-first (no zero-trip hoisting).
+///
+/// All baselines produce CommPlan objects so the trace simulator and the
+/// annotator treat them exactly like GIVE-N-TAKE plans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_BASELINE_BASELINES_H
+#define GNT_BASELINE_BASELINES_H
+
+#include "comm/CommGen.h"
+
+namespace gnt {
+
+/// Per-reference, per-element communication (Figure 2 left).
+CommPlan naivePlacement(const Program &P, const Cfg &G,
+                        const IntervalFlowGraph &Ifg);
+
+/// Message vectorization: per-reference hoisting to loop boundaries.
+CommPlan vectorizedPlacement(const Program &P, const Cfg &G,
+                             const IntervalFlowGraph &Ifg);
+
+} // namespace gnt
+
+#endif // GNT_BASELINE_BASELINES_H

@@ -1,0 +1,138 @@
+//===- cfg/Cfg.cpp - Control flow graph ------------------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace gnt;
+
+void Cfg::splitEdge(NodeId From, NodeId To, NodeId Mid) {
+  auto &FS = Nodes[From].Succs;
+  auto It = std::find(FS.begin(), FS.end(), To);
+  assert(It != FS.end() && "edge to split does not exist");
+  *It = Mid;
+
+  auto &TP = Nodes[To].Preds;
+  auto It2 = std::find(TP.begin(), TP.end(), From);
+  assert(It2 != TP.end() && "edge to split does not exist");
+  *It2 = Mid;
+
+  Nodes[Mid].Succs.push_back(To);
+  Nodes[Mid].Preds.push_back(From);
+}
+
+unsigned Cfg::splitAllCriticalEdges() {
+  unsigned Inserted = 0;
+  // Snapshot the node count: newly inserted nodes are single-in/single-out
+  // and can never source or sink a critical edge.
+  unsigned OldSize = size();
+  for (NodeId From = 0; From != OldSize; ++From) {
+    // Copy: splitting mutates the successor list.
+    std::vector<NodeId> Succs = Nodes[From].Succs;
+    for (unsigned Arm = 0; Arm != Succs.size(); ++Arm) {
+      NodeId To = Succs[Arm];
+      if (!isCriticalEdge(From, To))
+        continue;
+      NodeId Mid = addNode(NodeKind::Synthetic);
+      // Derive a print anchor for the new node from the branch arm it
+      // lives on. Only multi-successor nodes (loop headers and branches)
+      // can source critical edges.
+      CfgNode &F = Nodes[From];
+      CfgNode &M = Nodes[Mid];
+      if (F.Kind == NodeKind::LoopHeader) {
+        M.EmitStmt = F.S;
+        // Successor 0 is the body arm: the new node runs once per
+        // iteration at the top of the body. The other arm leaves the
+        // loop.
+        M.Where = Arm == 0 ? EmitWhere::BodyStart : EmitWhere::After;
+      } else if (F.Kind == NodeKind::Branch) {
+        M.EmitStmt = F.S;
+        M.Where = To == F.ThenSucc ? EmitWhere::ThenEntry
+                                   : EmitWhere::ElseEntry;
+      } else if (F.EmitStmt) {
+        M.EmitStmt = F.EmitStmt;
+        M.Where = EmitWhere::After;
+      } else {
+        M.EmitStmt = Nodes[To].EmitStmt;
+        M.Where = EmitWhere::Before;
+      }
+      splitEdge(From, To, Mid);
+      ++Inserted;
+    }
+  }
+  return Inserted;
+}
+
+static const char *kindName(NodeKind K) {
+  switch (K) {
+  case NodeKind::Entry:
+    return "entry";
+  case NodeKind::Exit:
+    return "exit";
+  case NodeKind::Stmt:
+    return "stmt";
+  case NodeKind::LoopHeader:
+    return "header";
+  case NodeKind::LoopLatch:
+    return "latch";
+  case NodeKind::Branch:
+    return "branch";
+  case NodeKind::Merge:
+    return "merge";
+  case NodeKind::Synthetic:
+    return "synth";
+  }
+  gntUnreachable("covered switch");
+}
+
+std::string gnt::describeNode(const Cfg &G, NodeId N) {
+  const CfgNode &Node = G.node(N);
+  std::string R = itostr(N);
+  R += ":";
+  R += kindName(Node.Kind);
+  if (Node.S) {
+    switch (Node.S->getKind()) {
+    case Stmt::Kind::Assign:
+      R += " " + AstPrinter::printExpr(cast<AssignStmt>(Node.S)->getLHS()) +
+           "=...";
+      break;
+    case Stmt::Kind::Do:
+      R += " do " + cast<DoStmt>(Node.S)->getIndexVar();
+      break;
+    case Stmt::Kind::If:
+      R += " if";
+      break;
+    case Stmt::Kind::Goto:
+      R += " goto " + itostr(cast<GotoStmt>(Node.S)->getTarget());
+      break;
+    case Stmt::Kind::Continue:
+      R += " continue";
+      break;
+    }
+  }
+  return R;
+}
+
+std::string Cfg::dot() const {
+  std::ostringstream OS;
+  OS << "digraph cfg {\n  node [shape=box, fontname=monospace];\n";
+  for (const CfgNode &N : Nodes) {
+    OS << "  n" << N.Id << " [label=\"" << describeNode(*this, N.Id) << "\"";
+    if (N.Kind == NodeKind::Synthetic || N.Kind == NodeKind::Merge ||
+        N.Kind == NodeKind::LoopLatch)
+      OS << ", style=dashed";
+    OS << "];\n";
+  }
+  for (const CfgNode &N : Nodes)
+    for (NodeId S : N.Succs)
+      OS << "  n" << N.Id << " -> n" << S << ";\n";
+  OS << "}\n";
+  return OS.str();
+}

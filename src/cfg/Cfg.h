@@ -1,0 +1,136 @@
+//===- cfg/Cfg.h - Control flow graph ---------------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control flow graph over which GIVE-N-TAKE runs. Nodes are
+/// statement-granular, matching the paper's Figure 12: one node per
+/// assignment, per branch condition, per loop header, plus the synthetic
+/// nodes required by the framework (loop latches, merge points,
+/// critical-edge splits, jump landing pads).
+///
+/// Each node carries an *emit anchor* — a (statement, EmitWhere) pair —
+/// describing where code placed on this node appears when the program is
+/// printed back as source. Synthetic nodes created to break critical edges
+/// get anchors like "else branch of this if" or "after this loop",
+/// mirroring how the paper materializes them (Figure 3's new else branch,
+/// Figure 14's landing pad at label 77).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_CFG_CFG_H
+#define GNT_CFG_CFG_H
+
+#include "ir/Ast.h"
+#include "ir/AstPrinter.h"
+
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// Identifies a CFG node; dense, starting at 0.
+using NodeId = unsigned;
+constexpr NodeId InvalidNode = ~0u;
+
+/// Role of a CFG node.
+enum class NodeKind {
+  Entry,      ///< Program entry; becomes the interval ROOT.
+  Exit,       ///< Program exit.
+  Stmt,       ///< Evaluates one assignment (or a no-op continue).
+  LoopHeader, ///< Header of a DO loop; evaluates bounds and trip test.
+  LoopLatch,  ///< Back-edge source of a DO loop.
+  Branch,     ///< Evaluates an IF condition; gotos in its arms make it a
+              ///< JUMP-edge source (the paper's node 4 in Figure 12).
+  Merge,      ///< Join point after an IF.
+  Synthetic,  ///< Inserted to break a critical edge / land a jump.
+};
+
+/// One CFG node.
+struct CfgNode {
+  NodeId Id = InvalidNode;
+  NodeKind Kind = NodeKind::Synthetic;
+
+  /// The statement this node evaluates (assign / if / do / goto), or null.
+  const Stmt *S = nullptr;
+
+  /// Where code placed on this node prints: (statement, position).
+  const Stmt *EmitStmt = nullptr;
+  EmitWhere Where = EmitWhere::Before;
+
+  /// For Branch nodes: the successor reached when the condition is true,
+  /// so edge splitting can anchor synthetic nodes to the right arm.
+  NodeId ThenSucc = InvalidNode;
+
+  std::vector<NodeId> Succs;
+  std::vector<NodeId> Preds;
+};
+
+/// A mutable control flow graph with a unique entry and exit.
+class Cfg {
+public:
+  Cfg() = default;
+
+  NodeId addNode(NodeKind Kind) {
+    CfgNode N;
+    N.Id = static_cast<NodeId>(Nodes.size());
+    N.Kind = Kind;
+    Nodes.push_back(std::move(N));
+    return Nodes.back().Id;
+  }
+
+  void addEdge(NodeId From, NodeId To) {
+    assert(From < Nodes.size() && To < Nodes.size() && "bad node id");
+    Nodes[From].Succs.push_back(To);
+    Nodes[To].Preds.push_back(From);
+  }
+
+  /// Redirects the existing edge From->To to go From->Mid->To. Keeps the
+  /// successor position stable so branch arms keep their meaning.
+  void splitEdge(NodeId From, NodeId To, NodeId Mid);
+
+  unsigned size() const { return static_cast<unsigned>(Nodes.size()); }
+
+  CfgNode &node(NodeId Id) {
+    assert(Id < Nodes.size() && "bad node id");
+    return Nodes[Id];
+  }
+  const CfgNode &node(NodeId Id) const {
+    assert(Id < Nodes.size() && "bad node id");
+    return Nodes[Id];
+  }
+
+  NodeId entry() const { return EntryId; }
+  NodeId exit() const { return ExitId; }
+  void setEntry(NodeId N) { EntryId = N; }
+  void setExit(NodeId N) { ExitId = N; }
+
+  /// True if the edge From->To is critical: From has several successors
+  /// and To has several predecessors.
+  bool isCriticalEdge(NodeId From, NodeId To) const {
+    return Nodes[From].Succs.size() > 1 && Nodes[To].Preds.size() > 1;
+  }
+
+  /// Splits every critical edge with a Synthetic node. Returns the number
+  /// of nodes inserted. New nodes inherit a best-effort emit anchor from
+  /// the edge's endpoints.
+  unsigned splitAllCriticalEdges();
+
+  /// Graphviz rendering, for debugging and documentation.
+  std::string dot() const;
+
+private:
+  std::vector<CfgNode> Nodes;
+  NodeId EntryId = InvalidNode;
+  NodeId ExitId = InvalidNode;
+};
+
+/// A short human-readable description of a node (kind plus anchor), used
+/// in dot output and test failure messages.
+std::string describeNode(const Cfg &G, NodeId N);
+
+} // namespace gnt
+
+#endif // GNT_CFG_CFG_H

@@ -1,0 +1,224 @@
+//===- cfg/CfgBuilder.cpp - AST to CFG lowering -----------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/CfgBuilder.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace gnt;
+
+namespace {
+
+class Builder {
+public:
+  explicit Builder(CfgBuildResult &Result) : Result(Result), G(Result.G) {}
+
+  void run(const Program &P) {
+    NodeId Entry = G.addNode(NodeKind::Entry);
+    G.setEntry(Entry);
+
+    std::vector<NodeId> Dangles = buildList(P.getBody(), {Entry});
+
+    NodeId Exit = G.addNode(NodeKind::Exit);
+    G.setExit(Exit);
+    for (NodeId D : Dangles)
+      G.addEdge(D, Exit);
+    // Production on the exit node (e.g. a final Write_Recv of an AFTER
+    // problem) prints after the last top-level statement.
+    if (!P.getBody().empty()) {
+      G.node(Exit).EmitStmt = P.getBody().back().get();
+      G.node(Exit).Where = EmitWhere::After;
+    }
+
+    resolveGotos();
+    G.splitAllCriticalEdges();
+    checkReachability();
+  }
+
+private:
+  void error(const std::string &Msg) { Result.Errors.push_back(Msg); }
+
+  /// Builds the statements of \p List; control enters from every node in
+  /// \p In and the returned nodes dangle into whatever follows the list.
+  std::vector<NodeId> buildList(const StmtList &List, std::vector<NodeId> In) {
+    for (const StmtPtr &S : List) {
+      NodeId First = InvalidNode;
+      std::vector<NodeId> Out = buildStmt(S.get(), std::move(In), First);
+      if (unsigned L = S->getLabel()) {
+        if (Labels.count(L))
+          error("duplicate label " + itostr(L));
+        else
+          Labels[L] = {First, S.get()};
+      }
+      In = std::move(Out);
+    }
+    return In;
+  }
+
+  NodeId makeNode(NodeKind Kind, const Stmt *S, EmitWhere Where) {
+    NodeId N = G.addNode(Kind);
+    CfgNode &Node = G.node(N);
+    Node.S = S;
+    Node.EmitStmt = S;
+    Node.Where = Where;
+    return N;
+  }
+
+  void connect(const std::vector<NodeId> &From, NodeId To) {
+    for (NodeId F : From)
+      G.addEdge(F, To);
+  }
+
+  std::vector<NodeId> buildStmt(const Stmt *S, std::vector<NodeId> In,
+                                NodeId &First) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Continue: {
+      NodeId N = makeNode(NodeKind::Stmt, S, EmitWhere::Before);
+      First = N;
+      connect(In, N);
+      return {N};
+    }
+    case Stmt::Kind::Goto: {
+      // A goto creates no node of its own: the node control is flowing
+      // from (typically the enclosing IF's branch node) becomes the JUMP
+      // edge source, exactly as in the paper's Figure 12 where the branch
+      // node 4 sources the jump. The edge to the landing pad is wired in
+      // resolveGotos().
+      if (S->getLabel() != 0)
+        error("line " + itostr(S->getLoc().Line) +
+              ": a label on a goto statement is not supported");
+      if (In.empty()) {
+        error("line " + itostr(S->getLoc().Line) + ": unreachable goto");
+        return {};
+      }
+      assert(In.size() == 1 && "goto reached from several dangling edges");
+      PendingGotos.push_back(
+          {In.front(), cast<GotoStmt>(S)->getTarget(), S, S->getLoc()});
+      return {}; // Nothing falls through a goto.
+    }
+    case Stmt::Kind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      NodeId H = makeNode(NodeKind::LoopHeader, S, EmitWhere::Before);
+      First = H;
+      connect(In, H);
+      // Successor 0 of a loop header is the body, successor 1 the exit;
+      // splitAllCriticalEdges relies on this order for its anchors.
+      std::vector<NodeId> BodyOut = buildList(D->getBody(), {H});
+      // An empty body dangles the header itself, wiring header->latch
+      // directly. A body whose every path jumps out of the loop is not a
+      // loop at all; reject it rather than build a bogus back edge.
+      if (BodyOut.empty()) {
+        error("line " + itostr(S->getLoc().Line) +
+              ": loop body never reaches the end of the loop");
+        return {H};
+      }
+      NodeId L = makeNode(NodeKind::LoopLatch, S, EmitWhere::BodyEnd);
+      connect(BodyOut, L);
+      G.addEdge(L, H); // The unique CYCLE edge.
+      return {H};      // The loop-exit arm dangles from the header.
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      NodeId B = makeNode(NodeKind::Branch, S, EmitWhere::Before);
+      First = B;
+      connect(In, B);
+      std::vector<NodeId> ThenOut = buildList(If->getThen(), {B});
+      // Record which successor is the taken arm so edge splitting can
+      // anchor synthetic nodes to the correct branch.
+      if (!G.node(B).Succs.empty())
+        G.node(B).ThenSucc = G.node(B).Succs.front();
+      std::vector<NodeId> ElseOut;
+      if (If->hasElse())
+        ElseOut = buildList(If->getElse(), {B});
+      else
+        ElseOut = {B};
+      std::vector<NodeId> Joined = std::move(ThenOut);
+      for (NodeId E : ElseOut)
+        if (std::find(Joined.begin(), Joined.end(), E) == Joined.end())
+          Joined.push_back(E);
+      if (Joined.empty())
+        return {}; // Both arms jumped away.
+      if (Joined.size() == 1)
+        return Joined; // No merge needed (e.g. one arm ends in a goto).
+      NodeId M = makeNode(NodeKind::Merge, nullptr, EmitWhere::After);
+      G.node(M).EmitStmt = S;
+      connect(Joined, M);
+      // An empty then branch reaches the merge straight from the branch
+      // node; that edge is the then arm.
+      if (G.node(B).ThenSucc == InvalidNode)
+        G.node(B).ThenSucc = M;
+      return {M};
+    }
+    }
+    gntUnreachable("covered switch");
+  }
+
+  /// Wires each pending goto through a fresh landing pad to its target, so
+  /// the sink of every JUMP edge has exactly one predecessor (paper node
+  /// 10 in Figure 12). The pad prints immediately before the goto line,
+  /// i.e. inside the taken arm — matching Figure 14's placement of
+  /// Read_Send inside `if test(i)`.
+  void resolveGotos() {
+    for (const Pending &P : PendingGotos) {
+      auto It = Labels.find(P.Target);
+      if (It == Labels.end()) {
+        error("line " + itostr(P.Loc.Line) + ": undefined label " +
+              itostr(P.Target));
+        continue;
+      }
+      NodeId TargetNode = It->second.first;
+      NodeId Pad = G.addNode(NodeKind::Synthetic);
+      CfgNode &PadNode = G.node(Pad);
+      PadNode.EmitStmt = P.GotoS;
+      PadNode.Where = EmitWhere::Before;
+      G.addEdge(P.From, Pad);
+      G.addEdge(Pad, TargetNode);
+    }
+  }
+
+  void checkReachability() {
+    std::vector<bool> Seen(G.size(), false);
+    std::vector<NodeId> Work = {G.entry()};
+    Seen[G.entry()] = true;
+    while (!Work.empty()) {
+      NodeId N = Work.back();
+      Work.pop_back();
+      for (NodeId S : G.node(N).Succs)
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    for (NodeId N = 0; N != G.size(); ++N)
+      if (!Seen[N])
+        error("unreachable code at node " + describeNode(G, N));
+  }
+
+  struct Pending {
+    NodeId From;
+    unsigned Target;
+    const Stmt *GotoS;
+    SourceLoc Loc;
+  };
+
+  CfgBuildResult &Result;
+  Cfg &G;
+  std::map<unsigned, std::pair<NodeId, const Stmt *>> Labels;
+  std::vector<Pending> PendingGotos;
+};
+
+} // namespace
+
+CfgBuildResult gnt::buildCfg(const Program &P) {
+  CfgBuildResult Result;
+  Builder B(Result);
+  B.run(P);
+  return Result;
+}

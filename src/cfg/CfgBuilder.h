@@ -1,0 +1,49 @@
+//===- cfg/CfgBuilder.h - AST to CFG lowering -------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an FMini program to a control flow graph with the shape the
+/// paper's framework expects:
+///
+///  - one Entry node (the interval ROOT) and one Exit node;
+///  - a LoopHeader and a LoopLatch per DO loop, giving every loop a unique
+///    back (CYCLE) edge and a unique entry child;
+///  - a Branch node per IF plus a Merge join node;
+///  - a Goto node per jump and a Synthetic landing pad per jump edge, so
+///    the sink of a JUMP edge has no predecessor besides its source
+///    (Section 3.4 of the paper);
+///  - all critical edges split with Synthetic nodes (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_CFG_CFGBUILDER_H
+#define GNT_CFG_CFGBUILDER_H
+
+#include "cfg/Cfg.h"
+
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// Result of CFG construction.
+struct CfgBuildResult {
+  Cfg G;
+  std::vector<std::string> Errors;
+
+  bool success() const { return Errors.empty(); }
+};
+
+/// Builds the normalized control flow graph of \p P.
+///
+/// Reports errors for undefined or duplicate labels and for unreachable
+/// statements. Reducibility is *not* checked here; the interval analysis
+/// (src/interval) rejects irreducible graphs.
+CfgBuildResult buildCfg(const Program &P);
+
+} // namespace gnt
+
+#endif // GNT_CFG_CFGBUILDER_H

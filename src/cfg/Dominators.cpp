@@ -1,0 +1,86 @@
+//===- cfg/Dominators.cpp - Dominator tree ----------------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+using namespace gnt;
+
+Dominators::Dominators(const Cfg &G) {
+  unsigned N = G.size();
+  Idom.assign(N, InvalidNode);
+  RpoNumber.assign(N, ~0u);
+
+  // Iterative post-order DFS from the entry.
+  std::vector<NodeId> Post;
+  Post.reserve(N);
+  {
+    std::vector<std::pair<NodeId, unsigned>> Stack;
+    std::vector<bool> Seen(N, false);
+    Stack.push_back({G.entry(), 0});
+    Seen[G.entry()] = true;
+    while (!Stack.empty()) {
+      auto &[Node, NextSucc] = Stack.back();
+      const auto &Succs = G.node(Node).Succs;
+      if (NextSucc < Succs.size()) {
+        NodeId S = Succs[NextSucc++];
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Post.push_back(Node);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (unsigned I = 0; I != Rpo.size(); ++I)
+    RpoNumber[Rpo[I]] = I;
+
+  // Cooper/Harvey/Kennedy: iterate to a fixed point over reverse
+  // postorder, intersecting predecessor dominators.
+  auto intersect = [&](NodeId A, NodeId B) {
+    while (A != B) {
+      while (RpoNumber[A] > RpoNumber[B])
+        A = Idom[A];
+      while (RpoNumber[B] > RpoNumber[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[G.entry()] = G.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId Node : Rpo) {
+      if (Node == G.entry())
+        continue;
+      NodeId NewIdom = InvalidNode;
+      for (NodeId P : G.node(Node).Preds) {
+        if (RpoNumber[P] == ~0u || Idom[P] == InvalidNode)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == InvalidNode ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidNode && Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  // By convention the entry has no immediate dominator.
+  Idom[G.entry()] = InvalidNode;
+}
+
+bool Dominators::dominates(NodeId A, NodeId B) const {
+  while (true) {
+    if (A == B)
+      return true;
+    if (B == InvalidNode || Idom[B] == InvalidNode)
+      return false;
+    B = Idom[B];
+  }
+}

@@ -1,0 +1,49 @@
+//===- cfg/Dominators.h - Dominator tree ------------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immediate dominator computation using the Cooper/Harvey/Kennedy
+/// iterative algorithm. GIVE-N-TAKE requires a reducible flow graph
+/// (Section 3.3); the interval analysis uses dominators to verify that
+/// every retreating edge targets a dominator of its source, which is the
+/// classical reducibility criterion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_CFG_DOMINATORS_H
+#define GNT_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <vector>
+
+namespace gnt {
+
+/// Dominator information for a Cfg, rooted at its entry node.
+class Dominators {
+public:
+  /// Computes immediate dominators for every node reachable from entry.
+  explicit Dominators(const Cfg &G);
+
+  /// Immediate dominator of \p N (InvalidNode for the entry node and for
+  /// unreachable nodes).
+  NodeId idom(NodeId N) const { return Idom[N]; }
+
+  /// True if \p A dominates \p B (every node dominates itself).
+  bool dominates(NodeId A, NodeId B) const;
+
+  /// Nodes in reverse postorder of a DFS from entry (entry first).
+  const std::vector<NodeId> &reversePostorder() const { return Rpo; }
+
+private:
+  std::vector<NodeId> Idom;
+  std::vector<unsigned> RpoNumber; ///< Position in Rpo; ~0u if unreachable.
+  std::vector<NodeId> Rpo;
+};
+
+} // namespace gnt
+
+#endif // GNT_CFG_DOMINATORS_H

@@ -1,0 +1,275 @@
+//===- comm/CommGen.cpp - Communication generation ---------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "comm/CommGen.h"
+
+#include "ir/AstPrinter.h"
+#include "support/Support.h"
+
+using namespace gnt;
+
+const char *gnt::commOpName(CommOpKind K) {
+  switch (K) {
+  case CommOpKind::ReadSend:
+    return "Read_Send";
+  case CommOpKind::ReadRecv:
+    return "Read_Recv";
+  case CommOpKind::WriteSend:
+    return "Write_Send";
+  case CommOpKind::WriteRecv:
+    return "Write_Recv";
+  case CommOpKind::AtomicRead:
+    return "Read";
+  case CommOpKind::AtomicWrite:
+    return "Write";
+  }
+  gntUnreachable("covered switch");
+}
+
+namespace {
+
+/// Strips the per-occurrence suffix of volatile items for display.
+std::string displayKey(const Item &I) {
+  size_t Pos = I.Key.find('#');
+  return Pos == std::string::npos ? I.Key : I.Key.substr(0, Pos);
+}
+
+} // namespace
+
+void gnt::buildCommProblems(const RefAnalysisResult &Refs, const Cfg &G,
+                            const IntervalFlowGraph &Ifg,
+                            const CommOptions &Opts, GntProblem &Read,
+                            GntProblem &Write) {
+  unsigned U = Refs.Items.size();
+  Read = GntProblem(G.size(), U, Direction::Before);
+  Write = GntProblem(G.size(), U, Direction::After);
+
+  for (NodeId N = 0; N != G.size(); ++N) {
+    const NodeRefs &R = Refs.PerNode[N];
+    // READ: references consume.
+    for (unsigned Use : R.Uses)
+      Read.TakeInit[N].set(Use);
+    // WRITE: references to overlapping data steal pending write-backs —
+    // the written values must reach their owners before any processor
+    // re-fetches them (Figure 3's placement).
+    for (unsigned Use : R.Uses)
+      for (unsigned I = 0; I != U; ++I)
+        if (Refs.Items.item(I).mayOverlap(Refs.Items.item(Use)))
+          Write.StealInit[N].set(I);
+
+    for (unsigned DI = 0; DI != R.Defs.size(); ++DI) {
+      unsigned Def = R.Defs[DI];
+      bool IsReduction = DI < R.DefOps.size() && R.DefOps[DI] != 0;
+      // READ: a plain local definition produces the defined section for
+      // free (non-owner-computes). A reduction gives nothing: the local
+      // partial value is not the global value.
+      if (!Opts.OwnerComputes && !IsReduction)
+        Read.GiveInit[N].set(Def);
+      // WRITE: the definition must be written (or reduced) back.
+      if (!Opts.OwnerComputes)
+        Write.TakeInit[N].set(Def);
+    }
+
+    // Any array definition (distributed or not) steals READ items that
+    // overlap the written section or are subscripted through the written
+    // array.
+    for (const RawDef &D : Refs.ArrayDefs[N]) {
+      for (unsigned I = 0; I != U; ++I) {
+        const Item &It = Refs.Items.item(I);
+        bool Steals = false;
+        if (It.Array == D.Array) {
+          // Same array: stolen unless it is exactly the defined (and
+          // hence freshly given) non-volatile direct section.
+          Item DefItem;
+          DefItem.Array = D.Array;
+          DefItem.Sec = D.Sec;
+          DefItem.Volatile = D.Opaque;
+          Steals = It.mayOverlap(DefItem);
+          // The definition itself is given, not stolen — except for
+          // reductions, which update the owner without making the global
+          // value locally available.
+          if (Steals && !D.Reduction && !D.Opaque && !It.Volatile &&
+              !It.isIndirect() && It.Sec == D.Sec)
+            Steals = false;
+        }
+        // Writing the indirection array invalidates items subscripted
+        // through it, e.g. a def of a(...) steals x(a(...)).
+        if (!Steals && It.isIndirect() && It.IndirectArray == D.Array)
+          Steals = D.Opaque || It.Sec.mayOverlap(D.Sec);
+        if (Steals)
+          Read.StealInit[N].set(I);
+      }
+    }
+
+    // Indirection-array and scalar invalidation applies to pending
+    // write-backs as well: the item's identity changes.
+    for (const RawDef &D : Refs.ArrayDefs[N])
+      for (unsigned I = 0; I != U; ++I) {
+        const Item &It = Refs.Items.item(I);
+        if (It.isIndirect() && It.IndirectArray == D.Array &&
+            (D.Opaque || It.Sec.mayOverlap(D.Sec)))
+          Write.StealInit[N].set(I);
+      }
+  }
+
+  // Reassigning a scalar a section depends on breaks the value number.
+  for (const auto &[Scalar, Nodes] : Refs.ScalarAssigns) {
+    for (unsigned I = 0; I != U; ++I) {
+      const Item &It = Refs.Items.item(I);
+      bool Depends = false;
+      for (const std::string &Sym : It.DependsOn)
+        Depends |= Sym == Scalar;
+      if (!Depends)
+        continue;
+      for (NodeId N : Nodes) {
+        Read.StealInit[N].set(I);
+        Write.StealInit[N].set(I);
+      }
+    }
+  }
+
+  // Zero-trip hoisting opt-out (Section 4.1): every loop is treated
+  // pessimistically — no consumption hoisted above it, no in-body
+  // production counted as available past it.
+  if (!Opts.HoistZeroTrip)
+    for (NodeId N = 0; N != G.size(); ++N)
+      if (N != Ifg.root() && Ifg.isHeader(N)) {
+        Read.NoHoistHeaders.push_back(N);
+        Write.NoHoistHeaders.push_back(N);
+      }
+}
+
+namespace {
+
+/// Anchor for production at the program-order entry of \p Node.
+AnchorKey entryAnchor(const CfgNode &Node) {
+  return {Node.EmitStmt, Node.Where};
+}
+
+/// Anchor for production at the program-order exit of \p Node.
+AnchorKey exitAnchor(const CfgNode &Node) {
+  if (Node.Where == EmitWhere::Before)
+    return {Node.EmitStmt, EmitWhere::After};
+  return {Node.EmitStmt, Node.Where};
+}
+
+} // namespace
+
+CommPlan gnt::generateComm(const Program &P, const Cfg &G,
+                           const IntervalFlowGraph &Ifg,
+                           const CommOptions &Opts) {
+  CommPlan Plan;
+  Plan.Opts = Opts;
+  Plan.Refs = analyzeReferences(P, G);
+  buildCommProblems(Plan.Refs, G, Ifg, Opts, Plan.ReadProblem,
+                    Plan.WriteProblem);
+
+  if (Opts.GenerateReads)
+    Plan.ReadRun = runGiveNTake(Ifg, Plan.ReadProblem);
+  if (Opts.GenerateWrites && !Opts.OwnerComputes)
+    Plan.WriteRun = runGiveNTake(Ifg, Plan.WriteProblem);
+
+  // Assemble the anchored operation lists. Two phases: at any one program
+  // point every write-back precedes every read (the owners must be
+  // current before data is re-fetched — Figure 3's ordering); within a
+  // phase, nodes contribute in program (preorder) order, sends before
+  // receives.
+  // Sends precede receives at one point. For READs the send is the EAGER
+  // solution; for WRITEs it is the LAZY one (Section 3.1).
+  auto emitPhase = [&](const GntRun &Run, Urgency SendUrg,
+                       CommOpKind SendKind, CommOpKind RecvKind,
+                       CommOpKind AtomicKind) {
+    Urgency RecvUrg = SendUrg == Urgency::Eager ? Urgency::Lazy
+                                                : Urgency::Eager;
+    for (NodeId N : Ifg.preorder()) {
+      const CfgNode &Node = G.node(N);
+      if (!Node.EmitStmt)
+        continue; // Entry/Exit have no print position; the solver pins
+                  // ROOT's placements to bottom.
+      auto emit = [&](const AnchorKey &K, CommOpKind Kind,
+                      const BitVector &BV) {
+        for (unsigned I : BV)
+          Plan.Anchored[K].push_back({Kind, I});
+      };
+      // Exit production on a branch node (possible for AFTER problems:
+      // RES_in of the reversed graph) executes when control leaves the
+      // branch on either arm — it must print at the top of *both* arms,
+      // not after the merge, or it would incorrectly follow the arms'
+      // statements.
+      auto emitExit = [&](CommOpKind Kind, const BitVector &BV) {
+        if (BV.none())
+          return;
+        if (Node.Kind == NodeKind::Branch) {
+          emit({Node.EmitStmt, EmitWhere::ThenEntry}, Kind, BV);
+          emit({Node.EmitStmt, EmitWhere::ElseEntry}, Kind, BV);
+          return;
+        }
+        emit(exitAnchor(Node), Kind, BV);
+      };
+      AnchorKey In = entryAnchor(Node);
+      if (Opts.Atomic) {
+        emit(In, AtomicKind, Run.resAtEntry(Urgency::Lazy, N));
+        emitExit(AtomicKind, Run.resAtExit(Urgency::Lazy, N));
+        continue;
+      }
+      emit(In, SendKind, Run.resAtEntry(SendUrg, N));
+      emit(In, RecvKind, Run.resAtEntry(RecvUrg, N));
+      emitExit(SendKind, Run.resAtExit(SendUrg, N));
+      emitExit(RecvKind, Run.resAtExit(RecvUrg, N));
+    }
+  };
+  if (Plan.WriteRun)
+    emitPhase(*Plan.WriteRun, Urgency::Lazy, CommOpKind::WriteSend,
+              CommOpKind::WriteRecv, CommOpKind::AtomicWrite);
+  if (Plan.ReadRun)
+    emitPhase(*Plan.ReadRun, Urgency::Eager, CommOpKind::ReadSend,
+              CommOpKind::ReadRecv, CommOpKind::AtomicRead);
+
+  return Plan;
+}
+
+std::string CommPlan::annotate(const Program &P) const {
+  AstPrinter Printer([this](const Stmt *S, EmitWhere W) {
+    std::vector<std::string> Lines;
+    auto It = Anchored.find({S, W});
+    if (It == Anchored.end())
+      return Lines;
+    for (const CommOp &Op : It->second) {
+      const Item &I = Refs.Items.item(Op.Item);
+      std::string Name = commOpName(Op.Kind);
+      bool IsWrite = Op.Kind == CommOpKind::WriteSend ||
+                     Op.Kind == CommOpKind::WriteRecv ||
+                     Op.Kind == CommOpKind::AtomicWrite;
+      if (IsWrite && I.ReductionOp)
+        Name += std::string("[") + I.ReductionOp + "]";
+      Lines.push_back(Name + "{" + displayKey(I) + "}");
+    }
+    return Lines;
+  });
+  return Printer.print(P);
+}
+
+std::map<CommOpKind, unsigned> CommPlan::staticCounts() const {
+  std::map<CommOpKind, unsigned> Counts;
+  for (const auto &[Key, Ops] : Anchored)
+    for (const CommOp &Op : Ops)
+      ++Counts[Op.Kind];
+  return Counts;
+}
+
+GntVerifyResult CommPlan::verify() const {
+  GntVerifyResult All;
+  std::vector<std::string> Names = Refs.Items.names();
+  for (const std::optional<GntRun> *Run : {&ReadRun, &WriteRun}) {
+    if (!Run->has_value())
+      continue;
+    GntVerifyResult V = verifyGntRun(**Run, Names);
+    All.Violations.insert(All.Violations.end(), V.Violations.begin(),
+                          V.Violations.end());
+    All.Notes.insert(All.Notes.end(), V.Notes.begin(), V.Notes.end());
+  }
+  return All;
+}

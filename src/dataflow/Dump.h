@@ -1,0 +1,35 @@
+//===- dataflow/Dump.h - Human-readable solver state dumps ------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a GIVE-N-TAKE run as the kind of per-node variable table the
+/// paper's Section 4 walks through — every intermediate equation result
+/// plus the placements — for studying and debugging problem instances
+/// (`gntc --dump-vars`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_DATAFLOW_DUMP_H
+#define GNT_DATAFLOW_DUMP_H
+
+#include "dataflow/GiveNTake.h"
+
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+class Cfg;
+
+/// Renders every nonempty dataflow variable of \p Run, one node per
+/// block, in PREORDER. \p Names maps item ids to display names (item
+/// indices are used when absent); \p G supplies node descriptions.
+std::string dumpGntRun(const GntRun &Run, const Cfg &G,
+                       const std::vector<std::string> &Names = {});
+
+} // namespace gnt
+
+#endif // GNT_DATAFLOW_DUMP_H

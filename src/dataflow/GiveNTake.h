@@ -1,0 +1,137 @@
+//===- dataflow/GiveNTake.h - The GIVE-N-TAKE framework ---------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution: the GIVE-N-TAKE balanced code placement
+/// framework. Given per-node initial sets over an abstract item universe —
+///
+///   TAKE_init(n)  items consumed at n,
+///   GIVE_init(n)  items produced "for free" at n (side effects),
+///   STEAL_init(n) items whose production is voided at n —
+///
+/// the solver evaluates Equations 1-15 (Figure 13) with the three-pass
+/// elimination schedule of Figure 15, producing the EAGER and LAZY
+/// placements RES_in/RES_out for every node. Each equation is evaluated
+/// exactly once per node, so the solver runs in O(E) set operations.
+///
+/// BEFORE problems (produce before consuming, e.g. message receives) run
+/// on the forward interval flow graph; AFTER problems (produce after
+/// consuming, e.g. writing results back) run on the reversed graph, with
+/// every interval that a JUMP edge leaves poisoned via STEAL_init = TOP
+/// to prevent unsafe hoisting (Section 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_DATAFLOW_GIVENTAKE_H
+#define GNT_DATAFLOW_GIVENTAKE_H
+
+#include "interval/IntervalFlowGraph.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace gnt {
+
+/// Whether items must be produced before or after they are consumed.
+enum class Direction { Before, After };
+
+/// Whether to produce as early as possible (e.g. sends) or as late as
+/// possible (e.g. receives). For AFTER problems "early" and "late" are
+/// relative to the reversed flow of control.
+enum class Urgency { Eager, Lazy };
+
+/// Inputs to a GIVE-N-TAKE instance. All vectors are indexed by CFG node
+/// id and sized to the item universe.
+struct GntProblem {
+  Direction Dir = Direction::Before;
+  unsigned UniverseSize = 0;
+  std::vector<BitVector> TakeInit;
+  std::vector<BitVector> GiveInit;
+  std::vector<BitVector> StealInit;
+
+  /// Headers treated pessimistically for zero-trip execution: the
+  /// Equation 5 hoisting terms are suppressed (consumption from the loop
+  /// body is not pulled into the header) and the Equation 2 GIVE summary
+  /// is dropped (in-body production does not count as available past the
+  /// loop). Unrelated production can still cross such loops. This is the
+  /// per-loop opt-out of Sections 4.1 / 5.3.
+  std::vector<NodeId> NoHoistHeaders;
+
+  GntProblem() = default;
+  GntProblem(unsigned NumNodes, unsigned UniverseSize,
+             Direction Dir = Direction::Before)
+      : Dir(Dir), UniverseSize(UniverseSize),
+        TakeInit(NumNodes, BitVector(UniverseSize)),
+        GiveInit(NumNodes, BitVector(UniverseSize)),
+        StealInit(NumNodes, BitVector(UniverseSize)) {}
+};
+
+/// One placement solution (either EAGER or LAZY): Equations 11-15.
+struct GntPlacement {
+  std::vector<BitVector> GivenIn;  ///< Eq. 11.
+  std::vector<BitVector> Given;    ///< Eq. 12.
+  std::vector<BitVector> GivenOut; ///< Eq. 13.
+  std::vector<BitVector> ResIn;    ///< Eq. 14: production at node entry.
+  std::vector<BitVector> ResOut;   ///< Eq. 15: production at node exit.
+};
+
+/// Full solver output, exposing every intermediate dataflow variable so
+/// tests can validate the paper's Section 4 worked example directly.
+/// All variables are expressed in the *solving* orientation: for AFTER
+/// problems, "in" refers to the node exit in program order.
+struct GntResult {
+  std::vector<BitVector> Steal;    ///< Eq. 1.
+  std::vector<BitVector> Give;     ///< Eq. 2.
+  std::vector<BitVector> Block;    ///< Eq. 3.
+  std::vector<BitVector> TakenOut; ///< Eq. 4.
+  std::vector<BitVector> Take;     ///< Eq. 5.
+  std::vector<BitVector> TakenIn;  ///< Eq. 6.
+  std::vector<BitVector> BlockLoc; ///< Eq. 7.
+  std::vector<BitVector> TakeLoc;  ///< Eq. 8.
+  std::vector<BitVector> GiveLoc;  ///< Eq. 9.
+  std::vector<BitVector> StealLoc; ///< Eq. 10.
+  GntPlacement Eager;
+  GntPlacement Lazy;
+};
+
+/// Runs the three-pass elimination solver of Figure 15 on \p Ifg. The
+/// graph must already be oriented for the problem direction (callers
+/// normally use runGiveNTake() below). ROOT's placement variables are
+/// pinned to bottom so production lands on real program nodes, matching
+/// the paper's worked example.
+GntResult solveGiveNTake(const IntervalFlowGraph &Ifg, const GntProblem &P);
+
+/// A complete, oriented GIVE-N-TAKE run.
+struct GntRun {
+  /// The graph the solver ran on: \p Forward itself for BEFORE problems,
+  /// its reversal for AFTER problems.
+  IntervalFlowGraph OrientedIfg;
+  /// The problem after AFTER-direction jump poisoning.
+  GntProblem OrientedProblem;
+  GntResult Result;
+
+  /// Production at the *program-order* entry of node \p N for \p U.
+  const BitVector &resAtEntry(Urgency U, NodeId N) const {
+    const GntPlacement &P = U == Urgency::Eager ? Result.Eager : Result.Lazy;
+    return OrientedProblem.Dir == Direction::Before ? P.ResIn[N]
+                                                    : P.ResOut[N];
+  }
+
+  /// Production at the *program-order* exit of node \p N for \p U.
+  const BitVector &resAtExit(Urgency U, NodeId N) const {
+    const GntPlacement &P = U == Urgency::Eager ? Result.Eager : Result.Lazy;
+    return OrientedProblem.Dir == Direction::Before ? P.ResOut[N]
+                                                    : P.ResIn[N];
+  }
+};
+
+/// Orients the problem (reversing the graph and poisoning jumped-out
+/// intervals for AFTER problems) and solves it.
+GntRun runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P);
+
+} // namespace gnt
+
+#endif // GNT_DATAFLOW_GIVENTAKE_H

@@ -1,0 +1,72 @@
+//===- frontend/Lexer.h - FMini lexer ---------------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for FMini source. Statements are newline-terminated (Fortran
+/// style); `!` starts a comment that runs to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FRONTEND_LEXER_H
+#define GNT_FRONTEND_LEXER_H
+
+#include "ir/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// A single token.
+struct Token {
+  enum class Kind {
+    Eof,
+    Newline,
+    Ident,
+    Number,
+    // Keywords.
+    KwDo,
+    KwEnddo,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwEndif,
+    KwGoto,
+    KwContinue,
+    KwDistribute,
+    KwArray,
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    Comma,
+    Assign, // '='
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+  };
+
+  Kind TheKind = Kind::Eof;
+  std::string Text;     ///< Identifier spelling.
+  long long Value = 0;  ///< Numeric value for Number tokens.
+  SourceLoc Loc;
+  bool AtLineStart = false; ///< True for the first token on its line.
+};
+
+/// Converts FMini source text into a token stream (terminated by Eof).
+/// Lexical errors are reported as diagnostics appended to \p Errors.
+std::vector<Token> lex(const std::string &Source,
+                       std::vector<std::string> &Errors);
+
+} // namespace gnt
+
+#endif // GNT_FRONTEND_LEXER_H

@@ -1,0 +1,167 @@
+//===- gen/RandomProgram.cpp - Seeded random FMini programs -----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomProgram.h"
+
+#include "ir/AstBuilder.h"
+#include "support/Support.h"
+
+#include <random>
+
+using namespace gnt;
+using namespace gnt::build;
+
+namespace {
+
+class Generator {
+public:
+  Generator(const GenConfig &C) : C(C), Rng(C.Seed) {}
+
+  Program run() {
+    Program P;
+    for (unsigned I = 0; I != C.NumDistributed; ++I)
+      P.declareArray("x" + itostr(I), /*Distributed=*/true);
+    for (unsigned I = 0; I != C.NumIndexArrays; ++I)
+      P.declareArray("a" + itostr(I), /*Distributed=*/false);
+    P.declareArray("w", /*Distributed=*/false);
+
+    StmtsLeft = C.TargetStmts;
+    StmtList Body;
+    while (StmtsLeft > 0) {
+      // Top level: loops may allocate an exit label for gotos; the
+      // labeled continue lands right after the loop.
+      genStmtInto(Body, /*Depth=*/0, /*ExitLabel=*/0);
+    }
+    P.getBody() = std::move(Body);
+    return P;
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
+  bool chance(double P) { return Dist(Rng) < P; }
+
+  std::string distArray() { return "x" + itostr(pick(C.NumDistributed)); }
+  std::string indexArray() { return "a" + itostr(pick(C.NumIndexArrays)); }
+
+  /// A subscript expression valid in the current loop context.
+  ExprPtr genSubscript() {
+    bool HasIdx = !LoopVars.empty();
+    switch (pick(HasIdx ? 5u : 2u)) {
+    case 0:
+      return lit(1 + pick(8)); // Constant element.
+    case 1: { // Symbolic offset from the parameter.
+      return sub(var("n"), lit(pick(4)));
+    }
+    case 2: // idx + c
+      return add(var(LoopVars[pick(LoopVars.size())]), lit(pick(10)));
+    case 3: // strided: 2*idx
+      return bin(BinaryExpr::Op::Mul, lit(2),
+                 var(LoopVars[pick(LoopVars.size())]));
+    default: // indirect: a_m(idx)
+      return aref(indexArray(), var(LoopVars[pick(LoopVars.size())]));
+    }
+  }
+
+  ExprPtr genRhs() {
+    ExprPtr E = chance(0.7) ? aref(distArray(), genSubscript())
+                            : static_cast<ExprPtr>(lit(pick(100)));
+    unsigned Extra = pick(2);
+    for (unsigned I = 0; I != Extra; ++I)
+      E = add(std::move(E), chance(0.6)
+                                ? aref(distArray(), genSubscript())
+                                : static_cast<ExprPtr>(lit(pick(100))));
+    return E;
+  }
+
+  ExprPtr genCond() {
+    if (!LoopVars.empty() && chance(0.5)) {
+      std::vector<ExprPtr> Args;
+      Args.push_back(var(LoopVars[pick(LoopVars.size())]));
+      return call("t", std::move(Args)); // Opaque: random at simulation.
+    }
+    std::vector<ExprPtr> Args;
+    Args.push_back(var("n"));
+    return call("t", std::move(Args));
+  }
+
+  void genStmtInto(StmtList &Out, unsigned Depth, unsigned ExitLabel) {
+    if (StmtsLeft == 0)
+      return;
+    --StmtsLeft;
+
+    unsigned Kind = pick(10);
+    // Goto out of the loop nest.
+    if (ExitLabel != 0 && !LoopVars.empty() && chance(C.GotoProb)) {
+      Out.push_back(ifGoto(genCond(), ExitLabel));
+      return;
+    }
+    if (Kind < 4 || Depth >= C.MaxDepth) { // Assignment.
+      if (chance(C.DefProb))
+        Out.push_back(assign(aref(distArray(), genSubscript()), genRhs()));
+      else
+        Out.push_back(assign(aref("w", genSubscript()), genRhs()));
+      return;
+    }
+    if (Kind < 7) { // DO loop.
+      std::string Idx = "i" + itostr(LoopCounter++);
+      ExprPtr Lo = lit(1);
+      ExprPtr Hi;
+      if (chance(C.ConstantBoundProb)) {
+        // Constant bounds, sometimes provably zero-trip.
+        long long H = chance(0.3) ? 0 : 1 + pick(6);
+        Hi = lit(H);
+      } else {
+        Hi = var("n");
+      }
+      unsigned Label = 0;
+      if (Depth == 0) {
+        Label = NextLabel;
+        NextLabel += 10;
+      }
+      LoopVars.push_back(Idx);
+      StmtList Body;
+      unsigned BodyStmts = 1 + pick(3);
+      for (unsigned I = 0; I != BodyStmts && StmtsLeft > 0; ++I)
+        genStmtInto(Body, Depth + 1, Label ? Label : ExitLabel);
+      LoopVars.pop_back();
+      if (Body.empty())
+        Body.push_back(assign(aref("w", lit(1)), lit(0)));
+      Out.push_back(doLoop(Idx, std::move(Lo), std::move(Hi),
+                           std::move(Body)));
+      if (Label)
+        Out.push_back(labeled(Label, cont()));
+      return;
+    }
+    // IF / IF-ELSE.
+    StmtList Then, Else;
+    unsigned ThenStmts = 1 + pick(2);
+    for (unsigned I = 0; I != ThenStmts && StmtsLeft > 0; ++I)
+      genStmtInto(Then, Depth + 1, ExitLabel);
+    if (Then.empty())
+      Then.push_back(assign(aref("w", lit(2)), lit(0)));
+    if (chance(0.5)) {
+      unsigned ElseStmts = 1 + pick(2);
+      for (unsigned I = 0; I != ElseStmts && StmtsLeft > 0; ++I)
+        genStmtInto(Else, Depth + 1, ExitLabel);
+    }
+    Out.push_back(ifThen(genCond(), std::move(Then), std::move(Else)));
+  }
+
+  const GenConfig &C;
+  std::mt19937 Rng;
+  std::uniform_real_distribution<double> Dist{0.0, 1.0};
+  unsigned StmtsLeft = 0;
+  unsigned NextLabel = 10;
+  unsigned LoopCounter = 0;
+  std::vector<std::string> LoopVars;
+};
+
+} // namespace
+
+Program gnt::generateRandomProgram(const GenConfig &Config) {
+  Generator G(Config);
+  return G.run();
+}

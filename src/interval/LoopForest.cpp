@@ -1,0 +1,159 @@
+//===- interval/LoopForest.cpp - Tarjan interval (loop) forest --------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interval/LoopForest.h"
+
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gnt;
+
+std::optional<LoopForest> LoopForest::compute(const Cfg &G,
+                                              const Dominators &Dom,
+                                              std::vector<std::string> &Errors) {
+  unsigned N = G.size();
+  LoopForest F;
+  F.Root = G.entry();
+  F.Parent.assign(N, InvalidNode);
+  F.Level.assign(N, 1);
+  F.BackEdgeSources.assign(N, {});
+  F.Level[F.Root] = 0;
+
+  // Find retreating edges: an edge (m, h) where h is on the DFS stack when
+  // m is visited. In a reducible graph every retreating edge is a back
+  // edge, i.e. h dominates m.
+  std::vector<char> State(N, 0); // 0 = unvisited, 1 = on stack, 2 = done.
+  {
+    std::vector<std::pair<NodeId, unsigned>> Stack;
+    Stack.push_back({F.Root, 0});
+    State[F.Root] = 1;
+    while (!Stack.empty()) {
+      auto &[Node, NextSucc] = Stack.back();
+      const auto &Succs = G.node(Node).Succs;
+      if (NextSucc < Succs.size()) {
+        NodeId S = Succs[NextSucc++];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.push_back({S, 0});
+        } else if (State[S] == 1) {
+          // Retreating edge Node -> S.
+          if (S == Node) {
+            Errors.push_back("self loop at node " + describeNode(G, Node));
+            return std::nullopt;
+          }
+          if (!Dom.dominates(S, Node)) {
+            Errors.push_back("irreducible control flow: retreating edge " +
+                             describeNode(G, Node) + " -> " +
+                             describeNode(G, S) +
+                             " targets a non-dominator");
+            return std::nullopt;
+          }
+          F.BackEdgeSources[S].push_back(Node);
+        }
+        continue;
+      }
+      State[Node] = 2;
+      Stack.pop_back();
+    }
+  }
+
+  // Natural loop membership per header: backward closure from the back
+  // edge sources, stopping at the header.
+  std::vector<NodeId> Headers;
+  std::vector<std::vector<char>> Member(N); // Member[h][n], headers only.
+  for (NodeId H = 0; H != N; ++H) {
+    if (F.BackEdgeSources[H].empty())
+      continue;
+    Headers.push_back(H);
+    Member[H].assign(N, 0);
+    std::vector<NodeId> Work;
+    for (NodeId Src : F.BackEdgeSources[H])
+      if (!Member[H][Src]) {
+        Member[H][Src] = 1;
+        Work.push_back(Src);
+      }
+    while (!Work.empty()) {
+      NodeId M = Work.back();
+      Work.pop_back();
+      if (M == H)
+        continue;
+      for (NodeId P : G.node(M).Preds)
+        if (P != H && !Member[H][P]) {
+          Member[H][P] = 1;
+          Work.push_back(P);
+        }
+    }
+    Member[H][H] = 0; // T(h) excludes its header.
+  }
+
+  // Loop sizes determine nesting (reducible loops are disjoint or nested).
+  std::vector<unsigned> LoopSize(N, 0);
+  for (NodeId H : Headers)
+    LoopSize[H] = static_cast<unsigned>(
+        std::count(Member[H].begin(), Member[H].end(), 1));
+
+  // Innermost enclosing header per node = the smallest loop containing it.
+  for (NodeId Node = 0; Node != N; ++Node) {
+    if (Node == F.Root)
+      continue;
+    NodeId Best = F.Root;
+    unsigned BestSize = ~0u;
+    for (NodeId H : Headers) {
+      if (!Member[H][Node])
+        continue;
+      if (LoopSize[H] < BestSize) {
+        Best = H;
+        BestSize = LoopSize[H];
+      }
+    }
+    F.Parent[Node] = Best;
+  }
+
+  // Levels follow the parent chain. Parents of headers point to loops that
+  // strictly contain them, so the chain is acyclic; resolve with memoized
+  // walks.
+  std::vector<char> LevelKnown(N, 0);
+  LevelKnown[F.Root] = 1;
+  for (NodeId Node = 0; Node != N; ++Node) {
+    if (LevelKnown[Node])
+      continue;
+    std::vector<NodeId> Chain;
+    NodeId Cur = Node;
+    while (!LevelKnown[Cur]) {
+      Chain.push_back(Cur);
+      Cur = F.Parent[Cur];
+      if (Cur == InvalidNode) {
+        // Unreachable node; give it level 1 under ROOT.
+        Cur = F.Root;
+        break;
+      }
+    }
+    unsigned L = F.Level[Cur];
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It) {
+      F.Level[*It] = ++L;
+      LevelKnown[*It] = 1;
+      if (F.Parent[*It] == InvalidNode)
+        F.Parent[*It] = F.Root;
+    }
+  }
+
+  return F;
+}
+
+bool LoopForest::contains(NodeId H, NodeId N) const {
+  if (N == H || N == InvalidNode)
+    return false;
+  NodeId Cur = Parent[N];
+  while (Cur != InvalidNode) {
+    if (Cur == H)
+      return true;
+    if (Cur == Root)
+      return H == Root;
+    Cur = Parent[Cur];
+  }
+  return false;
+}

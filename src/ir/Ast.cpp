@@ -1,0 +1,63 @@
+//===- ir/Ast.cpp - FMini AST out-of-line definitions ---------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ast.h"
+
+using namespace gnt;
+
+// Out-of-line virtual destructors anchor the vtables.
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+void gnt::forEachExpr(const Expr *E,
+                      const std::function<void(const Expr *)> &Fn) {
+  if (!E)
+    return;
+  Fn(E);
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+  case Expr::Kind::Var:
+    break;
+  case Expr::Kind::ArrayRef:
+    forEachExpr(cast<ArrayRefExpr>(E)->getSubscript(), Fn);
+    break;
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    forEachExpr(B->getLHS(), Fn);
+    forEachExpr(B->getRHS(), Fn);
+    break;
+  }
+  case Expr::Kind::Unary:
+    forEachExpr(cast<UnaryExpr>(E)->getOperand(), Fn);
+    break;
+  case Expr::Kind::Call:
+    for (const ExprPtr &A : cast<CallExpr>(E)->getArgs())
+      forEachExpr(A.get(), Fn);
+    break;
+  }
+}
+
+void gnt::forEachStmt(const StmtList &List,
+                      const std::function<void(const Stmt *)> &Fn) {
+  for (const StmtPtr &S : List) {
+    Fn(S.get());
+    switch (S->getKind()) {
+    case Stmt::Kind::Do:
+      forEachStmt(cast<DoStmt>(S.get())->getBody(), Fn);
+      break;
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S.get());
+      forEachStmt(If->getThen(), Fn);
+      forEachStmt(If->getElse(), Fn);
+      break;
+    }
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::Goto:
+    case Stmt::Kind::Continue:
+      break;
+    }
+  }
+}

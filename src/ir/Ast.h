@@ -1,0 +1,340 @@
+//===- ir/Ast.h - FMini abstract syntax tree --------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree of FMini, the Fortran-flavored mini language
+/// used to drive the GIVE-N-TAKE framework. FMini covers exactly the
+/// constructs exercised by the paper: counted DO loops (zero-trip capable),
+/// IF/THEN/ELSE, forward GOTOs (including jumps out of loop nests),
+/// assignments, and one-dimensional array references including indirect
+/// references like `x(a(k))`. Arrays may be declared `distribute`d, which
+/// makes their references and definitions participate in communication
+/// generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_IR_AST_H
+#define GNT_IR_AST_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// Line/column pair for diagnostics. Line 0 means "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Base class of all FMini expressions.
+class Expr {
+public:
+  enum class Kind { IntLit, Var, ArrayRef, Binary, Unary, Call };
+
+  virtual ~Expr();
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(long long Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+
+  long long getValue() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::IntLit; }
+
+private:
+  long long Value;
+};
+
+/// Reference to a scalar variable (loop index or symbolic parameter).
+class VarExpr : public Expr {
+public:
+  VarExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::Var, Loc), Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Var; }
+
+private:
+  std::string Name;
+};
+
+/// One-dimensional array element reference `a(subscript)`.
+class ArrayRefExpr : public Expr {
+public:
+  ArrayRefExpr(std::string Array, ExprPtr Subscript, SourceLoc Loc)
+      : Expr(Kind::ArrayRef, Loc), Array(std::move(Array)),
+        Subscript(std::move(Subscript)) {}
+
+  const std::string &getArray() const { return Array; }
+  const Expr *getSubscript() const { return Subscript.get(); }
+  ExprPtr &getSubscriptPtr() { return Subscript; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::ArrayRef; }
+
+private:
+  std::string Array;
+  ExprPtr Subscript;
+};
+
+/// Binary arithmetic or comparison.
+class BinaryExpr : public Expr {
+public:
+  enum class Op { Add, Sub, Mul, Div, Lt, Le, Gt, Ge, Eq, Ne };
+
+  BinaryExpr(Op TheOp, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), TheOp(TheOp), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  Op getOp() const { return TheOp; }
+  const Expr *getLHS() const { return LHS.get(); }
+  const Expr *getRHS() const { return RHS.get(); }
+  ExprPtr &getLHSPtr() { return LHS; }
+  ExprPtr &getRHSPtr() { return RHS; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  Op TheOp;
+  ExprPtr LHS, RHS;
+};
+
+/// Unary negation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(ExprPtr Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Operand(std::move(Operand)) {}
+
+  const Expr *getOperand() const { return Operand.get(); }
+  ExprPtr &getOperandPtr() { return Operand; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  ExprPtr Operand;
+};
+
+/// Call of an opaque intrinsic, e.g. `test(i)`. Calls are side-effect free
+/// scalar functions; their arguments may reference distributed arrays.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &getCallee() const { return Callee; }
+  const std::vector<ExprPtr> &getArgs() const { return Args; }
+  std::vector<ExprPtr> &getArgsRef() { return Args; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using StmtList = std::vector<StmtPtr>;
+
+/// Base class of all FMini statements. A statement may carry a numeric
+/// label (Fortran style), which GOTOs target.
+class Stmt {
+public:
+  enum class Kind { Assign, Do, If, Goto, Continue };
+
+  virtual ~Stmt();
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+  /// The statement's Fortran label, or 0 if unlabeled.
+  unsigned getLabel() const { return Label; }
+  void setLabel(unsigned L) { Label = L; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+  unsigned Label = 0;
+};
+
+/// Assignment `lhs = rhs`, where lhs is a scalar or array reference.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), LHS(std::move(LHS)), RHS(std::move(RHS)) {}
+
+  const Expr *getLHS() const { return LHS.get(); }
+  const Expr *getRHS() const { return RHS.get(); }
+  ExprPtr &getLHSPtr() { return LHS; }
+  ExprPtr &getRHSPtr() { return RHS; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  ExprPtr LHS, RHS;
+};
+
+/// Counted loop `do i = lo, hi ... enddo`. Like a Fortran DO loop it is
+/// zero-trip: if hi < lo the body never executes.
+class DoStmt : public Stmt {
+public:
+  DoStmt(std::string IndexVar, ExprPtr Lo, ExprPtr Hi, StmtList Body,
+         SourceLoc Loc)
+      : Stmt(Kind::Do, Loc), IndexVar(std::move(IndexVar)), Lo(std::move(Lo)),
+        Hi(std::move(Hi)), Body(std::move(Body)) {}
+
+  const std::string &getIndexVar() const { return IndexVar; }
+  const Expr *getLo() const { return Lo.get(); }
+  const Expr *getHi() const { return Hi.get(); }
+  ExprPtr &getLoPtr() { return Lo; }
+  ExprPtr &getHiPtr() { return Hi; }
+  const StmtList &getBody() const { return Body; }
+  StmtList &getBodyRef() { return Body; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Do; }
+
+private:
+  std::string IndexVar;
+  ExprPtr Lo, Hi;
+  StmtList Body;
+};
+
+/// Conditional `if (cond) then ... [else ...] endif`. The single-statement
+/// form `if (cond) goto L` is represented with a then-branch holding just
+/// the GotoStmt and no else branch.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtList Then, StmtList Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  const Expr *getCond() const { return Cond.get(); }
+  ExprPtr &getCondPtr() { return Cond; }
+  const StmtList &getThen() const { return Then; }
+  const StmtList &getElse() const { return Else; }
+  StmtList &getThenRef() { return Then; }
+  StmtList &getElseRef() { return Else; }
+  bool hasElse() const { return !Else.empty(); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtList Then, Else;
+};
+
+/// Unconditional `goto L`. FMini requires forward gotos whose target is at
+/// the same or a shallower loop nesting level (jumps out of loops); this
+/// keeps every control flow graph reducible, as GIVE-N-TAKE requires.
+class GotoStmt : public Stmt {
+public:
+  GotoStmt(unsigned Target, SourceLoc Loc)
+      : Stmt(Kind::Goto, Loc), Target(Target) {}
+
+  unsigned getTarget() const { return Target; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Goto; }
+
+private:
+  unsigned Target;
+};
+
+/// `continue` — a no-op statement, typically used as a label carrier.
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Continue; }
+};
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+/// Per-array metadata.
+struct ArrayInfo {
+  /// True if declared with `distribute a`; references to distributed
+  /// arrays participate in communication generation.
+  bool Distributed = false;
+};
+
+/// A whole FMini program: declarations plus a top-level statement list.
+class Program {
+public:
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  const StmtList &getBody() const { return Body; }
+  StmtList &getBody() { return Body; }
+
+  /// Declares (or updates) array \p Name.
+  void declareArray(const std::string &Name, bool Distributed) {
+    Arrays[Name].Distributed |= Distributed;
+  }
+
+  /// Returns true if \p Name is a declared, distributed array.
+  bool isDistributed(const std::string &Name) const {
+    auto It = Arrays.find(Name);
+    return It != Arrays.end() && It->second.Distributed;
+  }
+
+  const std::map<std::string, ArrayInfo> &getArrays() const { return Arrays; }
+
+private:
+  StmtList Body;
+  std::map<std::string, ArrayInfo> Arrays;
+};
+
+//===----------------------------------------------------------------------===//
+// Traversal helpers
+//===----------------------------------------------------------------------===//
+
+/// Invokes \p Fn on \p E and every transitively contained expression.
+void forEachExpr(const Expr *E, const std::function<void(const Expr *)> &Fn);
+
+/// Invokes \p Fn on every statement in \p List, recursing into loop and if
+/// bodies (pre-order).
+void forEachStmt(const StmtList &List,
+                 const std::function<void(const Stmt *)> &Fn);
+
+} // namespace gnt
+
+#endif // GNT_IR_AST_H

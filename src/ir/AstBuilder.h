@@ -1,0 +1,92 @@
+//===- ir/AstBuilder.h - Convenience AST construction ----------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free-function helpers for building FMini ASTs programmatically. Used by
+/// unit tests, the random program generator, and the examples; programs
+/// can equally be produced by the parser in src/frontend.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_IR_ASTBUILDER_H
+#define GNT_IR_ASTBUILDER_H
+
+#include "ir/Ast.h"
+
+namespace gnt::build {
+
+inline ExprPtr lit(long long V) {
+  return std::make_unique<IntLitExpr>(V, SourceLoc());
+}
+
+inline ExprPtr var(const std::string &Name) {
+  return std::make_unique<VarExpr>(Name, SourceLoc());
+}
+
+inline ExprPtr aref(const std::string &Array, ExprPtr Sub) {
+  return std::make_unique<ArrayRefExpr>(Array, std::move(Sub), SourceLoc());
+}
+
+inline ExprPtr bin(BinaryExpr::Op Op, ExprPtr L, ExprPtr R) {
+  return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R),
+                                      SourceLoc());
+}
+
+inline ExprPtr add(ExprPtr L, ExprPtr R) {
+  return bin(BinaryExpr::Op::Add, std::move(L), std::move(R));
+}
+
+inline ExprPtr sub(ExprPtr L, ExprPtr R) {
+  return bin(BinaryExpr::Op::Sub, std::move(L), std::move(R));
+}
+
+inline ExprPtr call(const std::string &Callee, std::vector<ExprPtr> Args) {
+  return std::make_unique<CallExpr>(Callee, std::move(Args), SourceLoc());
+}
+
+inline StmtPtr assign(ExprPtr LHS, ExprPtr RHS) {
+  return std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS),
+                                      SourceLoc());
+}
+
+inline StmtPtr doLoop(const std::string &Idx, ExprPtr Lo, ExprPtr Hi,
+                      StmtList Body) {
+  return std::make_unique<DoStmt>(Idx, std::move(Lo), std::move(Hi),
+                                  std::move(Body), SourceLoc());
+}
+
+inline StmtPtr ifThen(ExprPtr Cond, StmtList Then, StmtList Else = {}) {
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), SourceLoc());
+}
+
+inline StmtPtr gotoStmt(unsigned Target) {
+  return std::make_unique<GotoStmt>(Target, SourceLoc());
+}
+
+inline StmtPtr ifGoto(ExprPtr Cond, unsigned Target) {
+  StmtList Then;
+  Then.push_back(gotoStmt(Target));
+  return ifThen(std::move(Cond), std::move(Then));
+}
+
+inline StmtPtr labeled(unsigned Label, StmtPtr S) {
+  S->setLabel(Label);
+  return S;
+}
+
+inline StmtPtr cont() { return std::make_unique<ContinueStmt>(SourceLoc()); }
+
+/// Collects statements into a StmtList (variadic convenience).
+template <typename... Ts> StmtList stmts(Ts &&...Items) {
+  StmtList L;
+  (L.push_back(std::forward<Ts>(Items)), ...);
+  return L;
+}
+
+} // namespace gnt::build
+
+#endif // GNT_IR_ASTBUILDER_H

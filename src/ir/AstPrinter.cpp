@@ -1,0 +1,197 @@
+//===- ir/AstPrinter.cpp - FMini source printer ----------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/AstPrinter.h"
+
+#include "support/Support.h"
+
+using namespace gnt;
+
+static const char *binOpSpelling(BinaryExpr::Op Op) {
+  switch (Op) {
+  case BinaryExpr::Op::Add:
+    return "+";
+  case BinaryExpr::Op::Sub:
+    return "-";
+  case BinaryExpr::Op::Mul:
+    return "*";
+  case BinaryExpr::Op::Div:
+    return "/";
+  case BinaryExpr::Op::Lt:
+    return "<";
+  case BinaryExpr::Op::Le:
+    return "<=";
+  case BinaryExpr::Op::Gt:
+    return ">";
+  case BinaryExpr::Op::Ge:
+    return ">=";
+  case BinaryExpr::Op::Eq:
+    return "==";
+  case BinaryExpr::Op::Ne:
+    return "!=";
+  }
+  gntUnreachable("covered switch");
+}
+
+static unsigned binOpPrecedence(BinaryExpr::Op Op) {
+  switch (Op) {
+  case BinaryExpr::Op::Mul:
+  case BinaryExpr::Op::Div:
+    return 3;
+  case BinaryExpr::Op::Add:
+  case BinaryExpr::Op::Sub:
+    return 2;
+  default:
+    return 1;
+  }
+}
+
+static std::string printExprPrec(const Expr *E, unsigned ParentPrec) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return itostr(cast<IntLitExpr>(E)->getValue());
+  case Expr::Kind::Var:
+    return cast<VarExpr>(E)->getName();
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    return A->getArray() + "(" + printExprPrec(A->getSubscript(), 0) + ")";
+  }
+  case Expr::Kind::Unary:
+    return "-" + printExprPrec(cast<UnaryExpr>(E)->getOperand(), 4);
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    unsigned Prec = binOpPrecedence(B->getOp());
+    std::string S = printExprPrec(B->getLHS(), Prec) + " " +
+                    binOpSpelling(B->getOp()) + " " +
+                    printExprPrec(B->getRHS(), Prec + 1);
+    if (Prec < ParentPrec)
+      return "(" + S + ")";
+    return S;
+  }
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<std::string> Args;
+    for (const ExprPtr &A : C->getArgs())
+      Args.push_back(printExprPrec(A.get(), 0));
+    return C->getCallee() + "(" + join(Args, ", ") + ")";
+  }
+  }
+  gntUnreachable("covered switch");
+}
+
+std::string AstPrinter::printExpr(const Expr *E) {
+  return printExprPrec(E, 0);
+}
+
+void AstPrinter::emitAnnotations(const Stmt *S, EmitWhere W, unsigned Level,
+                                 std::string &Out) const {
+  if (!Ann)
+    return;
+  for (const std::string &Line : Ann(S, W))
+    Out += indent(Level) + Line + "\n";
+}
+
+void AstPrinter::printStmt(const Stmt *S, unsigned Level,
+                           std::string &Out) const {
+  emitAnnotations(S, EmitWhere::Before, Level, Out);
+
+  std::string LabelPrefix;
+  if (S->getLabel() != 0)
+    LabelPrefix = itostr(S->getLabel()) + " ";
+
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Out += indent(Level) + LabelPrefix + printExpr(A->getLHS()) + " = " +
+           printExpr(A->getRHS()) + "\n";
+    break;
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    Out += indent(Level) + LabelPrefix + "do " + D->getIndexVar() + " = " +
+           printExpr(D->getLo()) + ", " + printExpr(D->getHi()) + "\n";
+    emitAnnotations(S, EmitWhere::BodyStart, Level + 1, Out);
+    printStmts(D->getBody(), Level + 1, Out);
+    emitAnnotations(S, EmitWhere::BodyEnd, Level + 1, Out);
+    Out += indent(Level) + "enddo\n";
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    // `if (c) goto L` prints in its compact one-line form when there is
+    // nothing to place inside its branches.
+    bool CompactGoto = !If->hasElse() && If->getThen().size() == 1 &&
+                       isa<GotoStmt>(If->getThen().front().get());
+    if (CompactGoto && Ann) {
+      const Stmt *G = If->getThen().front().get();
+      CompactGoto = Ann(If, EmitWhere::ThenEntry).empty() &&
+                    Ann(If, EmitWhere::ThenExit).empty() &&
+                    Ann(If, EmitWhere::ElseEntry).empty() &&
+                    Ann(If, EmitWhere::ElseExit).empty() &&
+                    Ann(G, EmitWhere::Before).empty() &&
+                    Ann(G, EmitWhere::After).empty();
+    }
+    if (CompactGoto) {
+      const auto *G = cast<GotoStmt>(If->getThen().front().get());
+      Out += indent(Level) + LabelPrefix + "if (" + printExpr(If->getCond()) +
+             ") goto " + itostr(G->getTarget()) + "\n";
+      break;
+    }
+    Out += indent(Level) + LabelPrefix + "if (" + printExpr(If->getCond()) +
+           ") then\n";
+    emitAnnotations(S, EmitWhere::ThenEntry, Level + 1, Out);
+    printStmts(If->getThen(), Level + 1, Out);
+    emitAnnotations(S, EmitWhere::ThenExit, Level + 1, Out);
+    bool NeedElse = If->hasElse();
+    if (!NeedElse && Ann)
+      NeedElse = !Ann(S, EmitWhere::ElseEntry).empty() ||
+                 !Ann(S, EmitWhere::ElseExit).empty();
+    if (NeedElse) {
+      Out += indent(Level) + "else\n";
+      emitAnnotations(S, EmitWhere::ElseEntry, Level + 1, Out);
+      printStmts(If->getElse(), Level + 1, Out);
+      emitAnnotations(S, EmitWhere::ElseExit, Level + 1, Out);
+    }
+    Out += indent(Level) + "endif\n";
+    break;
+  }
+  case Stmt::Kind::Goto:
+    Out += indent(Level) + LabelPrefix + "goto " +
+           itostr(cast<GotoStmt>(S)->getTarget()) + "\n";
+    break;
+  case Stmt::Kind::Continue:
+    Out += indent(Level) + LabelPrefix + "continue\n";
+    break;
+  }
+
+  emitAnnotations(S, EmitWhere::After, Level, Out);
+}
+
+void AstPrinter::printStmts(const StmtList &List, unsigned Level,
+                            std::string &Out) const {
+  for (const StmtPtr &S : List)
+    printStmt(S.get(), Level, Out);
+}
+
+std::string AstPrinter::printStmts(const StmtList &List,
+                                   unsigned Level) const {
+  std::string Out;
+  printStmts(List, Level, Out);
+  return Out;
+}
+
+std::string AstPrinter::print(const Program &P) const {
+  std::string Out;
+  std::vector<std::string> Dist, Local;
+  for (const auto &[Name, Info] : P.getArrays())
+    (Info.Distributed ? Dist : Local).push_back(Name);
+  if (!Dist.empty())
+    Out += "distribute " + join(Dist, ", ") + "\n";
+  if (!Local.empty())
+    Out += "array " + join(Local, ", ") + "\n";
+  printStmts(P.getBody(), 0, Out);
+  return Out;
+}

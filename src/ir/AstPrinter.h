@@ -1,0 +1,74 @@
+//===- ir/AstPrinter.h - FMini source printer -------------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints FMini programs back to source form. The printer accepts an
+/// annotation callback so that clients (notably the communication
+/// generator) can interleave generated statements — e.g. Read_Send /
+/// Read_Recv lines — at structural positions around each statement,
+/// reproducing the style of the paper's Figures 2, 3 and 14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_IR_ASTPRINTER_H
+#define GNT_IR_ASTPRINTER_H
+
+#include "ir/Ast.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// Structural positions around a statement at which generated code can be
+/// placed. These correspond to the control flow graph locations where
+/// GIVE-N-TAKE may assign production, including the synthetic nodes
+/// inserted to break critical edges (e.g. the "new else branch" of the
+/// paper's Figure 3 and the jump landing pads of Figure 14).
+enum class EmitWhere {
+  Before,     ///< Immediately before the statement.
+  After,      ///< Immediately after the statement (after enddo/endif).
+  ThenEntry,  ///< First thing inside the then branch.
+  ThenExit,   ///< Last thing inside the then branch.
+  ElseEntry,  ///< First thing inside the (possibly synthesized) else branch.
+  ElseExit,   ///< Last thing inside the else branch.
+  BodyStart,  ///< Top of a loop body, executed every iteration.
+  BodyEnd,    ///< End of a loop body (the latch), before enddo.
+};
+
+/// Renders programs and expressions as FMini source.
+class AstPrinter {
+public:
+  /// Callback returning annotation lines for (statement, position).
+  using AnnotationFn =
+      std::function<std::vector<std::string>(const Stmt *, EmitWhere)>;
+
+  AstPrinter() = default;
+  explicit AstPrinter(AnnotationFn Ann) : Ann(std::move(Ann)) {}
+
+  /// Prints the whole program, including declarations.
+  std::string print(const Program &P) const;
+
+  /// Prints a statement list at the given indent level.
+  std::string printStmts(const StmtList &List, unsigned Level) const;
+
+  /// Prints a single expression.
+  static std::string printExpr(const Expr *E);
+
+private:
+  void printStmts(const StmtList &List, unsigned Level,
+                  std::string &Out) const;
+  void printStmt(const Stmt *S, unsigned Level, std::string &Out) const;
+  void emitAnnotations(const Stmt *S, EmitWhere W, unsigned Level,
+                       std::string &Out) const;
+
+  AnnotationFn Ann;
+};
+
+} // namespace gnt
+
+#endif // GNT_IR_ASTPRINTER_H

@@ -1,0 +1,236 @@
+//===- support/BitVector.h - Dense dynamic bit vector ----------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, dynamically sized bit vector used to represent sets over the
+/// dataflow universe. All GIVE-N-TAKE equations are unions, intersections
+/// and differences of these sets, so this type is the workhorse of the
+/// whole framework. The interface follows the spirit of llvm::BitVector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_BITVECTOR_H
+#define GNT_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gnt {
+
+/// Dense bit vector with set-algebra operations.
+///
+/// The vector has a fixed logical size (number of bits) established at
+/// construction or via resize(); all binary operations require both
+/// operands to have the same size.
+class BitVector {
+public:
+  using Word = std::uint64_t;
+  static constexpr unsigned WordBits = 64;
+
+  BitVector() = default;
+
+  /// Creates a vector of \p NumBits bits, all initialized to \p Value.
+  explicit BitVector(unsigned NumBits, bool Value = false) {
+    resize(NumBits, Value);
+  }
+
+  /// Number of bits in the vector.
+  unsigned size() const { return NumBits; }
+
+  /// Grows or shrinks the vector to \p NewSize bits; new bits get \p Value.
+  void resize(unsigned NewSize, bool Value = false) {
+    unsigned OldSize = NumBits;
+    Words.resize(numWords(NewSize), Value ? ~Word(0) : Word(0));
+    NumBits = NewSize;
+    if (Value && OldSize < NewSize && OldSize % WordBits != 0) {
+      // The old partial tail word must have its fresh high bits set.
+      Words[OldSize / WordBits] |= ~Word(0) << (OldSize % WordBits);
+    }
+    clearExcessBits();
+  }
+
+  /// Sets bit \p Idx.
+  void set(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+  }
+
+  /// Sets all bits.
+  void set() {
+    for (Word &W : Words)
+      W = ~Word(0);
+    clearExcessBits();
+  }
+
+  /// Clears bit \p Idx.
+  void reset(unsigned Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+  }
+
+  /// Clears all bits.
+  void reset() {
+    for (Word &W : Words)
+      W = 0;
+  }
+
+  /// Returns the value of bit \p Idx.
+  bool test(unsigned Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+  }
+
+  bool operator[](unsigned Idx) const { return test(Idx); }
+
+  /// Returns true if any bit is set.
+  bool any() const {
+    for (Word W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  /// Returns true if no bit is set.
+  bool none() const { return !any(); }
+
+  /// Returns true if every bit is set.
+  bool all() const { return count() == NumBits; }
+
+  /// Number of set bits.
+  unsigned count() const {
+    unsigned N = 0;
+    for (Word W : Words)
+      N += __builtin_popcountll(W);
+    return N;
+  }
+
+  /// Set union: this |= RHS.
+  BitVector &operator|=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= RHS.Words[I];
+    return *this;
+  }
+
+  /// Set intersection: this &= RHS.
+  BitVector &operator&=(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= RHS.Words[I];
+    return *this;
+  }
+
+  /// Set difference: removes from this every bit set in \p RHS.
+  BitVector &reset(const BitVector &RHS) {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= ~RHS.Words[I];
+    return *this;
+  }
+
+  bool operator==(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    return Words == RHS.Words;
+  }
+  bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
+
+  /// Returns true if this and \p RHS share any set bit.
+  bool anyCommon(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & RHS.Words[I])
+        return true;
+    return false;
+  }
+
+  /// Returns true if every set bit of this is also set in \p RHS.
+  bool isSubsetOf(const BitVector &RHS) const {
+    assert(NumBits == RHS.NumBits && "size mismatch");
+    for (unsigned I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I] & ~RHS.Words[I])
+        return false;
+    return true;
+  }
+
+  /// Index of the first set bit, or -1 if none.
+  int findFirst() const { return findNext(-1); }
+
+  /// Index of the first set bit strictly after \p Prev, or -1 if none.
+  int findNext(int Prev) const {
+    unsigned Start = static_cast<unsigned>(Prev + 1);
+    if (Start >= NumBits)
+      return -1;
+    unsigned WordIdx = Start / WordBits;
+    Word W = Words[WordIdx] & (~Word(0) << (Start % WordBits));
+    while (true) {
+      if (W)
+        return static_cast<int>(WordIdx * WordBits + __builtin_ctzll(W));
+      if (++WordIdx == Words.size())
+        return -1;
+      W = Words[WordIdx];
+    }
+  }
+
+  /// Iterator over the indices of set bits, for range-for loops.
+  class SetBitIterator {
+  public:
+    SetBitIterator(const BitVector &BV, int Idx) : BV(&BV), Idx(Idx) {}
+    unsigned operator*() const { return static_cast<unsigned>(Idx); }
+    SetBitIterator &operator++() {
+      Idx = BV->findNext(Idx);
+      return *this;
+    }
+    bool operator!=(const SetBitIterator &RHS) const { return Idx != RHS.Idx; }
+
+  private:
+    const BitVector *BV;
+    int Idx;
+  };
+
+  SetBitIterator begin() const { return SetBitIterator(*this, findFirst()); }
+  SetBitIterator end() const { return SetBitIterator(*this, -1); }
+
+private:
+  static unsigned numWords(unsigned Bits) {
+    return (Bits + WordBits - 1) / WordBits;
+  }
+
+  /// Bits beyond NumBits in the last word must stay zero so that count()
+  /// and operator== behave.
+  void clearExcessBits() {
+    if (NumBits % WordBits != 0 && !Words.empty())
+      Words.back() &= ~Word(0) >> (WordBits - NumBits % WordBits);
+  }
+
+  std::vector<Word> Words;
+  unsigned NumBits = 0;
+};
+
+/// Returns A | B as a new vector.
+inline BitVector unionOf(const BitVector &A, const BitVector &B) {
+  BitVector R = A;
+  R |= B;
+  return R;
+}
+
+/// Returns A & B as a new vector.
+inline BitVector intersectionOf(const BitVector &A, const BitVector &B) {
+  BitVector R = A;
+  R &= B;
+  return R;
+}
+
+/// Returns A - B (set difference) as a new vector.
+inline BitVector differenceOf(const BitVector &A, const BitVector &B) {
+  BitVector R = A;
+  R.reset(B);
+  return R;
+}
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_BITVECTOR_H

@@ -1,0 +1,147 @@
+//===- tests/AffineTest.cpp - Affine expression and section tests -----------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Affine.h"
+#include "ir/AstBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::build;
+
+TEST(Affine, Constants) {
+  AffineExpr C = AffineExpr::constant(42);
+  EXPECT_TRUE(C.isAffine());
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.getConstant(), 42);
+  EXPECT_EQ(C.toString(), "42");
+}
+
+TEST(Affine, SymbolsAndArithmetic) {
+  AffineExpr I = AffineExpr::symbol("i");
+  AffineExpr N = AffineExpr::symbol("n");
+  AffineExpr E = I + N + AffineExpr::constant(5);
+  EXPECT_EQ(E.coeffOf("i"), 1);
+  EXPECT_EQ(E.coeffOf("n"), 1);
+  EXPECT_EQ(E.getConstTerm(), 5);
+  EXPECT_EQ(E.toString(), "i+n+5");
+
+  AffineExpr D = E - I;
+  EXPECT_EQ(D.coeffOf("i"), 0);
+  EXPECT_FALSE(D.usesSymbol("i"));
+  EXPECT_EQ(D.toString(), "n+5");
+
+  AffineExpr M = I * AffineExpr::constant(3);
+  EXPECT_EQ(M.coeffOf("i"), 3);
+  EXPECT_EQ(M.toString(), "3*i");
+
+  AffineExpr Neg = M.negate();
+  EXPECT_EQ(Neg.coeffOf("i"), -3);
+  EXPECT_EQ(Neg.toString(), "-3*i");
+}
+
+TEST(Affine, NonAffineProducts) {
+  AffineExpr I = AffineExpr::symbol("i");
+  AffineExpr N = AffineExpr::symbol("n");
+  EXPECT_FALSE((I * N).isAffine());
+  EXPECT_FALSE((AffineExpr() + I).isAffine());
+}
+
+TEST(Affine, FromExpr) {
+  // k + 10
+  ExprPtr E = add(var("k"), lit(10));
+  AffineExpr A = AffineExpr::fromExpr(E.get());
+  EXPECT_TRUE(A.isAffine());
+  EXPECT_EQ(A.coeffOf("k"), 1);
+  EXPECT_EQ(A.getConstTerm(), 10);
+
+  // 2*i - 1
+  ExprPtr E2 = sub(bin(BinaryExpr::Op::Mul, lit(2), var("i")), lit(1));
+  AffineExpr A2 = AffineExpr::fromExpr(E2.get());
+  EXPECT_EQ(A2.coeffOf("i"), 2);
+  EXPECT_EQ(A2.getConstTerm(), -1);
+
+  // Indirect subscripts are not affine.
+  ExprPtr E3 = aref("a", var("k"));
+  EXPECT_FALSE(AffineExpr::fromExpr(E3.get()).isAffine());
+
+  // Calls are not affine.
+  std::vector<ExprPtr> Args;
+  Args.push_back(var("i"));
+  ExprPtr E4 = call("test", std::move(Args));
+  EXPECT_FALSE(AffineExpr::fromExpr(E4.get()).isAffine());
+}
+
+TEST(Affine, Substitute) {
+  // i + 10 with i := [lo = 1] gives 11.
+  AffineExpr E = AffineExpr::symbol("i") + AffineExpr::constant(10);
+  AffineExpr S = E.substitute("i", AffineExpr::constant(1));
+  EXPECT_TRUE(S.isConstant());
+  EXPECT_EQ(S.getConstant(), 11);
+
+  // 2*i + n with i := n + 1 gives 3n + 2.
+  AffineExpr E2 = AffineExpr::symbol("i") * AffineExpr::constant(2) +
+                  AffineExpr::symbol("n");
+  AffineExpr S2 =
+      E2.substitute("i", AffineExpr::symbol("n") + AffineExpr::constant(1));
+  EXPECT_EQ(S2.coeffOf("n"), 3);
+  EXPECT_EQ(S2.getConstTerm(), 2);
+}
+
+TEST(Affine, DifferenceFrom) {
+  AffineExpr N5 = AffineExpr::symbol("n") + AffineExpr::constant(5);
+  AffineExpr N2 = AffineExpr::symbol("n") + AffineExpr::constant(2);
+  auto D = N5.differenceFrom(N2);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 3);
+
+  AffineExpr M = AffineExpr::symbol("m");
+  EXPECT_FALSE(N5.differenceFrom(M).has_value());
+}
+
+TEST(Section, Printing) {
+  AffineExpr N = AffineExpr::symbol("n");
+  Section S(AffineExpr::constant(1), N);
+  EXPECT_EQ(S.toString(), "(1:n)");
+  Section El = Section::element(AffineExpr::constant(7));
+  EXPECT_EQ(El.toString(), "(7)");
+  Section Str(AffineExpr::constant(1), N, 2);
+  EXPECT_EQ(Str.toString(), "(1:n:2)");
+  EXPECT_EQ(Section::unknown().toString(), "(?)");
+}
+
+TEST(Section, EmptyAndOverlap) {
+  AffineExpr N = AffineExpr::symbol("n");
+  Section Empty(AffineExpr::constant(5), AffineExpr::constant(1));
+  EXPECT_TRUE(Empty.isProvablyEmpty());
+
+  // (1:n) and (n+1:2n) are provably disjoint: lo2 - hi1 = 1 > 0.
+  Section A(AffineExpr::constant(1), N);
+  Section B(N + AffineExpr::constant(1), N + N);
+  EXPECT_FALSE(A.mayOverlap(B));
+  EXPECT_FALSE(B.mayOverlap(A));
+
+  // (1:n) and (6:n+5) may overlap (they do for n >= 6).
+  Section C(AffineExpr::constant(6), N + AffineExpr::constant(5));
+  EXPECT_TRUE(A.mayOverlap(C));
+
+  // (1:n) vs (m:m) is unknown-relative: must assume overlap.
+  Section D = Section::element(AffineExpr::symbol("m"));
+  EXPECT_TRUE(A.mayOverlap(D));
+
+  // Unknown sections overlap everything.
+  EXPECT_TRUE(Section::unknown().mayOverlap(A));
+  EXPECT_TRUE(A.mayOverlap(Section::unknown()));
+
+  // Interleaved strides never touch: (1:n:2) vs (2:n:2).
+  Section Odd(AffineExpr::constant(1), N, 2);
+  Section Even(AffineExpr::constant(2), N, 2);
+  EXPECT_FALSE(Odd.mayOverlap(Even));
+  EXPECT_TRUE(Odd.mayOverlap(Odd));
+
+  // Empty sections overlap nothing.
+  EXPECT_FALSE(Empty.mayOverlap(A));
+}

@@ -1,0 +1,156 @@
+//===- tests/BitVectorTest.cpp - BitVector unit tests -----------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+using namespace gnt;
+
+TEST(BitVector, EmptyAndSized) {
+  BitVector Empty;
+  EXPECT_EQ(Empty.size(), 0u);
+  EXPECT_TRUE(Empty.none());
+  EXPECT_EQ(Empty.count(), 0u);
+
+  BitVector V(130);
+  EXPECT_EQ(V.size(), 130u);
+  EXPECT_TRUE(V.none());
+  EXPECT_FALSE(V.any());
+}
+
+TEST(BitVector, SetResetTest) {
+  BitVector V(100);
+  V.set(0);
+  V.set(63);
+  V.set(64);
+  V.set(99);
+  EXPECT_TRUE(V.test(0));
+  EXPECT_TRUE(V.test(63));
+  EXPECT_TRUE(V.test(64));
+  EXPECT_TRUE(V.test(99));
+  EXPECT_FALSE(V.test(1));
+  EXPECT_EQ(V.count(), 4u);
+  V.reset(63);
+  EXPECT_FALSE(V.test(63));
+  EXPECT_EQ(V.count(), 3u);
+}
+
+TEST(BitVector, AllOnesConstruction) {
+  BitVector V(70, true);
+  EXPECT_TRUE(V.all());
+  EXPECT_EQ(V.count(), 70u);
+  // Excess bits in the tail word must not leak into count().
+  V.reset(69);
+  EXPECT_EQ(V.count(), 69u);
+  EXPECT_FALSE(V.all());
+}
+
+TEST(BitVector, ResizeGrowWithValue) {
+  BitVector V(10, true);
+  V.resize(130, true);
+  EXPECT_EQ(V.count(), 130u);
+  BitVector W(10, true);
+  W.resize(130, false);
+  EXPECT_EQ(W.count(), 10u);
+}
+
+TEST(BitVector, SetAlgebra) {
+  BitVector A(80), B(80);
+  A.set(1);
+  A.set(40);
+  A.set(70);
+  B.set(40);
+  B.set(71);
+
+  BitVector U = unionOf(A, B);
+  EXPECT_EQ(U.count(), 4u);
+  EXPECT_TRUE(U.test(1) && U.test(40) && U.test(70) && U.test(71));
+
+  BitVector I = intersectionOf(A, B);
+  EXPECT_EQ(I.count(), 1u);
+  EXPECT_TRUE(I.test(40));
+
+  BitVector D = differenceOf(A, B);
+  EXPECT_EQ(D.count(), 2u);
+  EXPECT_TRUE(D.test(1) && D.test(70));
+  EXPECT_FALSE(D.test(40));
+}
+
+TEST(BitVector, SubsetAndCommon) {
+  BitVector A(64), B(64);
+  A.set(3);
+  B.set(3);
+  B.set(9);
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(A.anyCommon(B));
+  A.reset(3);
+  EXPECT_FALSE(A.anyCommon(B));
+  EXPECT_TRUE(A.isSubsetOf(B)); // Empty set is a subset of everything.
+}
+
+TEST(BitVector, FindAndIteration) {
+  BitVector V(200);
+  std::set<unsigned> Expected = {0, 5, 63, 64, 65, 128, 199};
+  for (unsigned I : Expected)
+    V.set(I);
+
+  std::set<unsigned> Seen;
+  for (unsigned I : V)
+    Seen.insert(I);
+  EXPECT_EQ(Seen, Expected);
+
+  EXPECT_EQ(V.findFirst(), 0);
+  EXPECT_EQ(V.findNext(0), 5);
+  EXPECT_EQ(V.findNext(65), 128);
+  EXPECT_EQ(V.findNext(199), -1);
+}
+
+TEST(BitVector, EqualityAndEmptyIteration) {
+  BitVector A(33), B(33);
+  EXPECT_EQ(A, B);
+  A.set(32);
+  EXPECT_NE(A, B);
+  B.set(32);
+  EXPECT_EQ(A, B);
+
+  BitVector E(50);
+  unsigned Count = 0;
+  for (unsigned I : E) {
+    (void)I;
+    ++Count;
+  }
+  EXPECT_EQ(Count, 0u);
+}
+
+/// Randomized consistency check against std::set as the reference model.
+TEST(BitVector, RandomizedAgainstReferenceModel) {
+  std::mt19937 Rng(12345);
+  for (unsigned Trial = 0; Trial != 50; ++Trial) {
+    unsigned Size = 1 + Rng() % 300;
+    BitVector A(Size), B(Size);
+    std::set<unsigned> RefA, RefB;
+    for (unsigned I = 0; I != Size / 2; ++I) {
+      unsigned X = Rng() % Size, Y = Rng() % Size;
+      A.set(X);
+      RefA.insert(X);
+      B.set(Y);
+      RefB.insert(Y);
+    }
+    BitVector U = unionOf(A, B), In = intersectionOf(A, B),
+              D = differenceOf(A, B);
+    for (unsigned I = 0; I != Size; ++I) {
+      EXPECT_EQ(U.test(I), RefA.count(I) || RefB.count(I));
+      EXPECT_EQ(In.test(I), RefA.count(I) && RefB.count(I));
+      EXPECT_EQ(D.test(I), RefA.count(I) && !RefB.count(I));
+    }
+    EXPECT_EQ(A.count(), RefA.size());
+  }
+}

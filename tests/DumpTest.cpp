@@ -1,0 +1,61 @@
+//===- tests/DumpTest.cpp - Solver state dump tests -------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "comm/CommGen.h"
+#include "dataflow/Dump.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+TEST(Dump, ContainsPaperVariablesOnFig11) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+  ASSERT_TRUE(Plan.ReadRun.has_value());
+
+  std::string Out =
+      dumpGntRun(*Plan.ReadRun, P.G, Plan.Refs.Items.names());
+  // Orientation header.
+  EXPECT_NE(Out.find("BEFORE problem, forward graph"), std::string::npos);
+  // The Section 4 values are visible with item names.
+  EXPECT_NE(Out.find("RES_in^e   = {x(11:n+10)}"), std::string::npos);
+  EXPECT_NE(Out.find("TAKE       = {x(11:n+10), y(b(1:n))}"),
+            std::string::npos);
+  // Every node appears.
+  for (NodeId Id = 0; Id != P.G.size(); ++Id)
+    EXPECT_NE(Out.find(describeNode(P.G, Id)), std::string::npos) << Id;
+}
+
+TEST(Dump, ReversedOrientationIsLabeled) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+do i = 1, n
+  x(i) = u(i)
+enddo
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+  ASSERT_TRUE(Plan.WriteRun.has_value());
+  std::string Out =
+      dumpGntRun(*Plan.WriteRun, P.G, Plan.Refs.Items.names());
+  EXPECT_NE(Out.find("AFTER problem, reversed graph"), std::string::npos);
+  EXPECT_NE(Out.find("TAKE_init  = {x(1:n)}"), std::string::npos);
+}
+
+TEST(Dump, EmptySetsAreOmitted) {
+  Pipeline P = Pipeline::fromSource("v = 1\n");
+  ASSERT_TRUE(P.Ifg.has_value());
+  GntProblem Prob(P.G.size(), 1);
+  GntRun Run = runGiveNTake(*P.Ifg, Prob);
+  std::string Out = dumpGntRun(Run, P.G);
+  // No items anywhere: only node lines.
+  EXPECT_EQ(Out.find("= {"), std::string::npos);
+}

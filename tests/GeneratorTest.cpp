@@ -1,0 +1,102 @@
+//===- tests/GeneratorTest.cpp - Random program generator tests -------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+TEST(Generator, DeterministicInSeed) {
+  GenConfig C;
+  C.Seed = 42;
+  C.TargetStmts = 60;
+  std::string A = AstPrinter().print(generateRandomProgram(C));
+  std::string B = AstPrinter().print(generateRandomProgram(C));
+  EXPECT_EQ(A, B);
+  C.Seed = 43;
+  EXPECT_NE(A, AstPrinter().print(generateRandomProgram(C)));
+}
+
+TEST(Generator, SizeTracksTarget) {
+  for (unsigned Target : {10u, 50u, 200u}) {
+    GenConfig C;
+    C.Seed = 9;
+    C.TargetStmts = Target;
+    Program P = generateRandomProgram(C);
+    unsigned Count = 0;
+    forEachStmt(P.getBody(), [&](const Stmt *) { ++Count; });
+    EXPECT_GE(Count, Target / 2);
+    EXPECT_LE(Count, Target * 3);
+  }
+}
+
+TEST(Generator, EveryProgramBuildsACleanPipeline) {
+  for (unsigned Seed = 100; Seed != 140; ++Seed) {
+    GenConfig C;
+    C.Seed = Seed;
+    C.TargetStmts = 35;
+    Program P = generateRandomProgram(C);
+    CfgBuildResult CR = buildCfg(P);
+    ASSERT_TRUE(CR.success())
+        << "seed " << Seed << ": " << CR.Errors.front();
+    auto IR = IntervalFlowGraph::build(CR.G);
+    ASSERT_TRUE(IR.success())
+        << "seed " << Seed << ": " << IR.Errors.front();
+  }
+}
+
+TEST(Generator, RespectsDepthLimit) {
+  GenConfig C;
+  C.Seed = 5;
+  C.TargetStmts = 120;
+  C.MaxDepth = 2;
+  Program P = generateRandomProgram(C);
+  CfgBuildResult CR = buildCfg(P);
+  ASSERT_TRUE(CR.success());
+  auto IR = IntervalFlowGraph::build(CR.G);
+  ASSERT_TRUE(IR.success());
+  for (NodeId Id = 0; Id != IR.Ifg->size(); ++Id)
+    EXPECT_LE(IR.Ifg->level(Id), 3u); // Depth 2 nesting + statement level.
+}
+
+TEST(Generator, GotoProbabilityControlsJumps) {
+  GenConfig C;
+  C.Seed = 17;
+  C.TargetStmts = 80;
+  C.GotoProb = 0.0;
+  Program P = generateRandomProgram(C);
+  unsigned Gotos = 0;
+  forEachStmt(P.getBody(), [&](const Stmt *S) {
+    Gotos += S->getKind() == Stmt::Kind::Goto;
+  });
+  EXPECT_EQ(Gotos, 0u);
+
+  C.GotoProb = 0.5;
+  Program P2 = generateRandomProgram(C);
+  Gotos = 0;
+  forEachStmt(P2.getBody(), [&](const Stmt *S) {
+    Gotos += S->getKind() == Stmt::Kind::Goto;
+  });
+  EXPECT_GT(Gotos, 0u);
+}
+
+TEST(Generator, UsesDistributedArrays) {
+  GenConfig C;
+  C.Seed = 3;
+  C.TargetStmts = 60;
+  C.NumDistributed = 2;
+  Program P = generateRandomProgram(C);
+  EXPECT_TRUE(P.isDistributed("x0"));
+  EXPECT_TRUE(P.isDistributed("x1"));
+  EXPECT_FALSE(P.isDistributed("x2"));
+  std::string Out = AstPrinter().print(P);
+  EXPECT_NE(Out.find("x0("), std::string::npos);
+}

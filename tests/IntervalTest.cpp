@@ -1,0 +1,285 @@
+//===- tests/IntervalTest.cpp - Interval flow graph tests (Fig. 12) ---------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproduces experiment E3 of DESIGN.md: the interval flow graph the
+/// paper's Figure 12 derives from the Figure 11 code — intervals, levels,
+/// edge classification (ENTRY/CYCLE/JUMP/FORWARD/SYNTHETIC), preorder, and
+/// the reversed view used for AFTER problems.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+namespace {
+
+std::optional<EdgeType> edgeType(const IntervalFlowGraph &Ifg, NodeId From,
+                                 NodeId To) {
+  for (const IfgEdge &E : Ifg.succs(From))
+    if (E.Dst == To)
+      return E.Type;
+  return std::nullopt;
+}
+
+unsigned preorderPos(const IntervalFlowGraph &Ifg, NodeId N) {
+  const auto &P = Ifg.preorder();
+  for (unsigned I = 0; I != P.size(); ++I)
+    if (P[I] == N)
+      return I;
+  ADD_FAILURE() << "node " << N << " missing from preorder";
+  return ~0u;
+}
+
+} // namespace
+
+TEST(Interval, Fig12Structure) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  Fig11Nodes N = locateFig11(P.G);
+
+  // ROOT is the entry node, level 0; everything else is level >= 1.
+  EXPECT_EQ(Ifg.root(), N.Root);
+  EXPECT_EQ(Ifg.level(N.Root), 0u);
+
+  // Levels: the three loop bodies are level 2, the rest level 1.
+  for (NodeId Id : {N.Hi, N.SAfterI, N.Hj, N.SAfterJ, N.Pad, N.Hk, N.Exit})
+    EXPECT_EQ(Ifg.level(Id), 1u) << "node " << Id;
+  for (NodeId Id : {N.A, N.B, N.Li, N.JB, N.Lj, N.KB, N.Lk})
+    EXPECT_EQ(Ifg.level(Id), 2u) << "node " << Id;
+
+  // Interval membership: T(Hi) = {A, B, Li} (paper: T(2) = {3,4,5}).
+  for (NodeId Id : {N.A, N.B, N.Li})
+    EXPECT_EQ(Ifg.parent(Id), N.Hi);
+  for (NodeId Id : {N.JB, N.Lj})
+    EXPECT_EQ(Ifg.parent(Id), N.Hj);
+  for (NodeId Id : {N.KB, N.Lk})
+    EXPECT_EQ(Ifg.parent(Id), N.Hk);
+  for (NodeId Id : {N.Hi, N.SAfterI, N.Hj, N.SAfterJ, N.Pad, N.Hk, N.Exit})
+    EXPECT_EQ(Ifg.parent(Id), N.Root);
+
+  // Headers and their unique LASTCHILDs.
+  EXPECT_TRUE(Ifg.isHeader(N.Hi));
+  EXPECT_TRUE(Ifg.isHeader(N.Root));
+  EXPECT_FALSE(Ifg.isHeader(N.A));
+  EXPECT_EQ(Ifg.lastChild(N.Hi), N.Li);
+  EXPECT_EQ(Ifg.lastChild(N.Hj), N.Lj);
+  EXPECT_EQ(Ifg.lastChild(N.Hk), N.Lk);
+  EXPECT_EQ(Ifg.lastChild(N.Root), N.Exit);
+
+  // HEADER(n) for entry children.
+  EXPECT_EQ(Ifg.headerOf(N.A), N.Hi);
+  EXPECT_EQ(Ifg.headerOf(N.JB), N.Hj);
+  EXPECT_EQ(Ifg.headerOf(N.KB), N.Hk);
+  EXPECT_EQ(Ifg.headerOf(N.Hi), N.Root);
+  EXPECT_EQ(Ifg.headerOf(N.B), InvalidNode);
+}
+
+TEST(Interval, Fig12EdgeClassification) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  Fig11Nodes N = locateFig11(P.G);
+
+  EXPECT_EQ(edgeType(Ifg, N.Root, N.Hi), EdgeType::Entry);
+  EXPECT_EQ(edgeType(Ifg, N.Hi, N.A), EdgeType::Entry);
+  EXPECT_EQ(edgeType(Ifg, N.A, N.B), EdgeType::Forward);
+  EXPECT_EQ(edgeType(Ifg, N.B, N.Li), EdgeType::Forward);
+  EXPECT_EQ(edgeType(Ifg, N.Li, N.Hi), EdgeType::Cycle);
+  EXPECT_EQ(edgeType(Ifg, N.Hi, N.SAfterI), EdgeType::Forward);
+  // The jump out of the i loop (paper edge (4,10)).
+  EXPECT_EQ(edgeType(Ifg, N.B, N.Pad), EdgeType::Jump);
+  // Its projection onto the i header (paper's dashed edge (2,10)).
+  EXPECT_EQ(edgeType(Ifg, N.Hi, N.Pad), EdgeType::Synthetic);
+  EXPECT_EQ(edgeType(Ifg, N.Pad, N.Hk), EdgeType::Forward);
+  EXPECT_EQ(edgeType(Ifg, N.SAfterJ, N.Hk), EdgeType::Forward);
+  EXPECT_EQ(edgeType(Ifg, N.Hk, N.Exit), EdgeType::Forward);
+
+  // Exactly one JUMP and one SYNTHETIC edge in the whole graph
+  // (LEVEL(source) - LEVEL(sink) = 2 - 1 = 1).
+  unsigned Jumps = 0, Synths = 0;
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    for (const IfgEdge &E : Ifg.succs(Id)) {
+      Jumps += E.Type == EdgeType::Jump;
+      Synths += E.Type == EdgeType::Synthetic;
+    }
+  EXPECT_EQ(Jumps, 1u);
+  EXPECT_EQ(Synths, 1u);
+
+  // The i loop is the only jump-poisoned interval.
+  ASSERT_EQ(Ifg.jumpPoisonedHeaders().size(), 1u);
+  EXPECT_EQ(Ifg.jumpPoisonedHeaders()[0], N.Hi);
+  EXPECT_TRUE(Ifg.hasJumpEdges());
+}
+
+TEST(Interval, Fig12Preorder) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  Fig11Nodes N = locateFig11(P.G);
+
+  EXPECT_EQ(Ifg.preorder().size(), Ifg.size());
+  EXPECT_EQ(Ifg.preorder().front(), N.Root);
+
+  // FORWARD/JUMP/SYNTHETIC edges increase; headers precede members.
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    for (const IfgEdge &E : Ifg.succs(Id))
+      if (E.Type == EdgeType::Forward || E.Type == EdgeType::Jump ||
+          E.Type == EdgeType::Synthetic) {
+        EXPECT_LT(preorderPos(Ifg, E.Src), preorderPos(Ifg, E.Dst));
+      }
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    if (Id != N.Root) {
+      EXPECT_LT(preorderPos(Ifg, Ifg.parent(Id)), preorderPos(Ifg, Id));
+    }
+
+  // Children lists are in FORWARD order and partition non-root nodes.
+  unsigned Total = 0;
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    Total += Ifg.children(Id).size();
+  EXPECT_EQ(Total, Ifg.size() - 1);
+  const auto &Body = Ifg.children(N.Hi);
+  ASSERT_EQ(Body.size(), 3u);
+  EXPECT_EQ(Body.front(), N.A);
+  EXPECT_EQ(Body.back(), N.Li);
+}
+
+TEST(Interval, ReversedView) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Fwd = *P.Ifg;
+  Fig11Nodes N = locateFig11(P.G);
+
+  IntervalFlowGraph Rev = Fwd.reversed();
+  EXPECT_TRUE(Rev.isReversed());
+  EXPECT_EQ(Rev.size(), Fwd.size());
+
+  // Same interval structure.
+  for (NodeId Id = 0; Id != Fwd.size(); ++Id) {
+    EXPECT_EQ(Rev.level(Id), Fwd.level(Id));
+    EXPECT_EQ(Rev.parent(Id), Fwd.parent(Id));
+  }
+
+  // ENTRY and CYCLE swap: the reversed loop is entered through its old
+  // latch and cycles through its old entry child.
+  EXPECT_EQ(edgeType(Rev, N.Hi, N.Li), EdgeType::Entry);
+  EXPECT_EQ(edgeType(Rev, N.A, N.Hi), EdgeType::Cycle);
+  EXPECT_EQ(Rev.lastChild(N.Hi), N.A);
+  EXPECT_EQ(Rev.headerOf(N.Li), N.Hi);
+
+  // FORWARD edges mirror.
+  EXPECT_EQ(edgeType(Rev, N.B, N.A), EdgeType::Forward);
+  // The JUMP edge reverses (a jump *into* the loop, cf. Figure 16); the
+  // poisoned-header list is preserved for the AFTER-problem driver.
+  EXPECT_EQ(edgeType(Rev, N.Pad, N.B), EdgeType::Jump);
+  ASSERT_EQ(Rev.jumpPoisonedHeaders().size(), 1u);
+  EXPECT_EQ(Rev.jumpPoisonedHeaders()[0], N.Hi);
+
+  // The reversed preorder starts at ROOT and visits the exit first among
+  // ROOT's children.
+  EXPECT_EQ(Rev.preorder().front(), N.Root);
+  ASSERT_FALSE(Rev.children(N.Root).empty());
+  EXPECT_EQ(Rev.children(N.Root).front(), N.Exit);
+
+  // Reversing twice restores the forward orientation.
+  IntervalFlowGraph Back = Rev.reversed();
+  EXPECT_FALSE(Back.isReversed());
+  EXPECT_EQ(edgeType(Back, N.Hi, N.A), EdgeType::Entry);
+  EXPECT_EQ(Back.lastChild(N.Hi), N.Li);
+}
+
+TEST(Interval, NestedLoops) {
+  Pipeline P = Pipeline::fromSource(R"(
+do i = 1, n
+  do j = 1, n
+    v = i + j
+  enddo
+enddo
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  // Find the two headers by level.
+  NodeId Outer = InvalidNode, Inner = InvalidNode;
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id) {
+    if (P.G.node(Id).Kind != NodeKind::LoopHeader)
+      continue;
+    if (Ifg.level(Id) == 1)
+      Outer = Id;
+    else
+      Inner = Id;
+  }
+  ASSERT_NE(Outer, InvalidNode);
+  ASSERT_NE(Inner, InvalidNode);
+  EXPECT_EQ(Ifg.parent(Inner), Outer);
+  EXPECT_EQ(Ifg.level(Inner), 2u);
+  // The body statement is level 3.
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    if (P.G.node(Id).Kind == NodeKind::Stmt) {
+      EXPECT_EQ(Ifg.level(Id), 3u);
+    }
+}
+
+TEST(Interval, MultiLevelJumpSynthetics) {
+  // A jump out of a double nest crosses two interval boundaries, so it
+  // spawns LEVEL(m) - LEVEL(n) = 2 synthetic edges and poisons both loops.
+  Pipeline P = Pipeline::fromSource(R"(
+do i = 1, n
+  do j = 1, n
+    if (t(j)) goto 99
+    v = j
+  enddo
+enddo
+99 w = 1
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  unsigned Synths = 0, Jumps = 0;
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    for (const IfgEdge &E : Ifg.succs(Id)) {
+      Synths += E.Type == EdgeType::Synthetic;
+      Jumps += E.Type == EdgeType::Jump;
+    }
+  EXPECT_EQ(Jumps, 1u);
+  EXPECT_EQ(Synths, 2u);
+  EXPECT_EQ(Ifg.jumpPoisonedHeaders().size(), 2u);
+}
+
+TEST(Interval, GotoFormedLoopIsNormalized) {
+  // A backward goto forms a loop with no DO statement; normalization must
+  // synthesize a unique latch.
+  Pipeline P = Pipeline::fromSource(R"(
+10 v = v + 1
+if (v < n) goto 10
+w = 1
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  const IntervalFlowGraph &Ifg = *P.Ifg;
+  // Exactly one header besides ROOT, with a unique CYCLE edge.
+  unsigned Cycles = 0;
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id)
+    for (const IfgEdge &E : Ifg.succs(Id))
+      Cycles += E.Type == EdgeType::Cycle;
+  EXPECT_EQ(Cycles, 1u);
+}
+
+TEST(Interval, IrreducibleRejected) {
+  // Jump into a loop body: classic irreducible control flow.
+  ParseResult PR = parseProgram(R"(
+if (c > 0) goto 20
+do i = 1, n
+20 v = i
+enddo
+)");
+  ASSERT_TRUE(PR.success());
+  CfgBuildResult CR = buildCfg(PR.Prog);
+  ASSERT_TRUE(CR.success());
+  auto IR = IntervalFlowGraph::build(CR.G);
+  EXPECT_FALSE(IR.success());
+}

@@ -1,0 +1,204 @@
+//===- tests/SimFeaturesTest.cpp - Simulator mechanics ----------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the trace simulator's cost model and execution
+/// mechanics, independent of any placement strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "comm/CommGen.h"
+#include "sim/TraceSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+namespace {
+
+CommPlan planFor(Pipeline &P, CommOptions Opts = {}) {
+  EXPECT_TRUE(P.Ifg.has_value());
+  return generateComm(P.Prog, P.G, *P.Ifg, Opts);
+}
+
+} // namespace
+
+TEST(SimFeatures, WorkAccounting) {
+  Pipeline P = Pipeline::fromSource("v = 1\nw = 2\nu = v + w\n");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.WorkPerStmt = 2.5;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_EQ(S.Steps, 3u);
+  EXPECT_DOUBLE_EQ(S.Work, 7.5);
+  EXPECT_EQ(S.Messages, 0u);
+}
+
+TEST(SimFeatures, LoopTripCountsFromParams) {
+  Pipeline P = Pipeline::fromSource("do i = 1, n\nv = i\nenddo\n");
+  CommPlan Plan = planFor(P);
+  for (long long N : {0, 1, 7, 100}) {
+    SimConfig C;
+    C.Params["n"] = N;
+    SimStats S = simulate(P.Prog, Plan, C);
+    // One step for the do statement plus one per iteration.
+    EXPECT_EQ(S.Steps, 1u + static_cast<unsigned long long>(N)) << N;
+  }
+}
+
+TEST(SimFeatures, UnknownBoundsUseDefaultTrip) {
+  Pipeline P = Pipeline::fromSource("do i = 1, q(3)\nv = i\nenddo\n");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.DefaultTrip = 5;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_EQ(S.Steps, 1u + 5u);
+}
+
+TEST(SimFeatures, ScalarEnvironmentTracksAssignments) {
+  // The loop bound is computed by the program itself.
+  Pipeline P = Pipeline::fromSource(R"(
+m = 3
+m = m + 2
+do i = 1, m
+  v = i
+enddo
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_EQ(S.Steps, 2u + 1u + 5u);
+}
+
+TEST(SimFeatures, BranchProbabilityExtremes) {
+  Pipeline P = Pipeline::fromSource(R"(
+if (t(1)) then
+  v = 1
+  w = 2
+endif
+u = 3
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.BranchTrueProb = 1.0;
+  EXPECT_EQ(simulate(P.Prog, Plan, C).Steps, 1u + 2u + 1u);
+  C.BranchTrueProb = 0.0;
+  EXPECT_EQ(simulate(P.Prog, Plan, C).Steps, 1u + 1u);
+}
+
+TEST(SimFeatures, DeterministicAcrossRunsSameSeed) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+do i = 1, n
+  if (t(i)) then
+    u(i) = x(i)
+  endif
+enddo
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.Params["n"] = 40;
+  C.BranchSeed = 7;
+  SimStats A = simulate(P.Prog, Plan, C);
+  SimStats B = simulate(P.Prog, Plan, C);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Messages, B.Messages);
+  EXPECT_DOUBLE_EQ(A.ExposedLatency, B.ExposedLatency);
+}
+
+TEST(SimFeatures, ExposedLatencyArithmetic) {
+  // Send, then exactly K work units, then receive: exposure is
+  // max(0, latency - K).
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u, w
+do i = 1, k
+  w(i) = i
+enddo
+u(1) = x(5)
+)");
+  CommPlan Plan = planFor(P);
+  for (long long K : {0, 10, 49, 50, 51, 200}) {
+    SimConfig C;
+    C.Params["k"] = K;
+    C.Latency = 50.0;
+    SimStats S = simulate(P.Prog, Plan, C);
+    // The send precedes the work loop; work between send and receive is
+    // the do statement + K iterations.
+    double Hidden = static_cast<double>(K) + 1.0;
+    double Expected = std::max(0.0, 50.0 - Hidden);
+    EXPECT_DOUBLE_EQ(S.ExposedLatency, Expected) << K;
+  }
+}
+
+TEST(SimFeatures, VolumeUsesSectionSizes) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x, y
+array u
+u(1) = x(4)
+do i = 1, n
+  u(i) = y(2 * i)
+enddo
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.Params["n"] = 30;
+  SimStats S = simulate(P.Prog, Plan, C);
+  // x(4): one element; y(2:60:2): 30 elements.
+  EXPECT_EQ(S.Volume, 1u + 30u);
+}
+
+TEST(SimFeatures, TotalTimeComposition) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+u(1) = x(7)
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.Latency = 30.0;
+  C.PerElement = 4.0;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_DOUBLE_EQ(S.totalTime(C), S.Work + S.ExposedLatency + 4.0);
+}
+
+TEST(SimFeatures, StepLimitGuardsRunaways) {
+  Pipeline P = Pipeline::fromSource(R"(
+array w
+v = 0
+10 v = v + 1
+w(1) = v
+if (v < 1000000) goto 10
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.MaxSteps = 1000;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.Errors.front().find("step limit"), std::string::npos);
+  EXPECT_LE(S.Steps, 1000u);
+}
+
+TEST(SimFeatures, FortranIndexAfterLoop) {
+  // The index is hi+1 after a completed loop; programs may use it.
+  Pipeline P = Pipeline::fromSource(R"(
+do i = 1, n
+  v = i
+enddo
+do j = 1, i
+  w = j
+enddo
+)");
+  CommPlan Plan = planFor(P);
+  SimConfig C;
+  C.Params["n"] = 4;
+  SimStats S = simulate(P.Prog, Plan, C);
+  // First loop: 1 + 4; second: bound i = 5 -> 1 + 5.
+  EXPECT_EQ(S.Steps, 5u + 6u);
+}

@@ -1,0 +1,239 @@
+//===- tests/SimulatorTest.cpp - Trace simulator tests ----------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dynamic validation of communication plans under the distributed-memory
+/// cost model: message counts and latency hiding for the paper's Figure
+/// 1/2 scenario (experiment E1), zero-trip over-communication accounting
+/// (E10), and the dynamic C1/C3 checks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "baseline/Baselines.h"
+#include "comm/CommGen.h"
+#include "sim/TraceSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+namespace {
+
+const char *Fig2Source = R"(
+distribute x
+array a, y, z, u
+do i = 1, n
+  y(i) = 1
+enddo
+if (test) then
+  do j = 1, n
+    z(j) = 1
+  enddo
+  do k = 1, n
+    u(k) = x(a(k))
+  enddo
+else
+  do l = 1, n
+    u(l) = x(a(l))
+  enddo
+endif
+)";
+
+SimConfig configN(long long N, long long Test = 1) {
+  SimConfig C;
+  C.Params["n"] = N;
+  C.Params["test"] = Test;
+  C.Latency = 100.0;
+  return C;
+}
+
+} // namespace
+
+TEST(Simulator, Fig2GntOneHiddenMessage) {
+  Pipeline P = Pipeline::fromSource(Fig2Source);
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+
+  SimStats S = simulate(P.Prog, Plan, configN(50));
+  EXPECT_TRUE(S.ok()) << (S.Errors.empty() ? "" : S.Errors.front());
+  // One vectorized message of the whole section.
+  EXPECT_EQ(S.Messages, 1u);
+  EXPECT_EQ(S.Volume, 50u);
+  // The i and j loops (100 statements of work) hide the latency of 100.
+  EXPECT_EQ(S.ExposedLatency, 0.0);
+  EXPECT_EQ(S.Wasted, 0u);
+  EXPECT_EQ(S.Redundant, 0u);
+
+  // The else path behaves identically.
+  SimStats S2 = simulate(P.Prog, Plan, configN(50, /*Test=*/0));
+  EXPECT_TRUE(S2.ok());
+  EXPECT_EQ(S2.Messages, 1u);
+}
+
+TEST(Simulator, Fig2NaiveManyExposedMessages) {
+  Pipeline P = Pipeline::fromSource(Fig2Source);
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Naive = naivePlacement(P.Prog, P.G, *P.Ifg);
+
+  SimStats S = simulate(P.Prog, Naive, configN(50));
+  EXPECT_TRUE(S.ok()) << (S.Errors.empty() ? "" : S.Errors.front());
+  // One element message per iteration of the consuming loop.
+  EXPECT_EQ(S.Messages, 50u);
+  EXPECT_EQ(S.Volume, 50u);
+  // Nothing hides the latency: every message is fully exposed.
+  EXPECT_GE(S.ExposedLatency, 50 * 99.0);
+}
+
+TEST(Simulator, Fig2AtomicHasNoHiding) {
+  Pipeline P = Pipeline::fromSource(Fig2Source);
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommOptions Opts;
+  Opts.Atomic = true;
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg, Opts);
+
+  SimStats S = simulate(P.Prog, Plan, configN(50));
+  EXPECT_TRUE(S.ok()) << (S.Errors.empty() ? "" : S.Errors.front());
+  EXPECT_EQ(S.Messages, 1u);
+  // Atomic operations cannot overlap communication with computation.
+  EXPECT_EQ(S.ExposedLatency, 100.0);
+}
+
+TEST(Simulator, Fig3WriteThenRead) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array a, y, w
+if (test) then
+  do i = 1, n
+    x(a(i)) = 1
+  enddo
+  do j = 1, n
+    y(j) = x(j + 5)
+  enddo
+endif
+do k = 1, n
+  w(k) = x(k + 5)
+enddo
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+
+  // Taken branch: one write-back plus one read.
+  SimStats S = simulate(P.Prog, Plan, configN(40));
+  EXPECT_TRUE(S.ok()) << (S.Errors.empty() ? "" : S.Errors.front());
+  EXPECT_EQ(S.Messages, 2u);
+
+  // Untaken branch: only the read (on the synthesized else path).
+  SimStats S2 = simulate(P.Prog, Plan, configN(40, /*Test=*/0));
+  EXPECT_TRUE(S2.ok()) << (S2.Errors.empty() ? "" : S2.Errors.front());
+  EXPECT_EQ(S2.Messages, 1u);
+}
+
+TEST(Simulator, ZeroTripOverCommunicationIsWasteNotError) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+do k = 1, m
+  u(k) = x(k)
+enddo
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+
+  SimConfig C;
+  C.Params["n"] = 10;
+  C.Params["m"] = 0; // The loop never executes.
+  SimStats S = simulate(P.Prog, Plan, C);
+  // Hoisted communication still happens: correct (C1 balanced) but
+  // wasted — the slight over-communication the paper accepts (Section 2).
+  EXPECT_TRUE(S.ok()) << (S.Errors.empty() ? "" : S.Errors.front());
+  EXPECT_EQ(S.Messages, 1u);
+  EXPECT_EQ(S.Wasted, 1u);
+
+  // With hoisting disabled, a zero-trip loop communicates nothing.
+  CommOptions NoHoist;
+  NoHoist.HoistZeroTrip = false;
+  CommPlan Plan2 = generateComm(P.Prog, P.G, *P.Ifg, NoHoist);
+  SimStats S2 = simulate(P.Prog, Plan2, C);
+  EXPECT_TRUE(S2.ok());
+  EXPECT_EQ(S2.Messages, 0u);
+  EXPECT_EQ(S2.Wasted, 0u);
+}
+
+TEST(Simulator, Fig14JumpPathsBalanced) {
+  Pipeline P = Pipeline::fromSource(fig11Source());
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+
+  // Exercise both the goto path and the fallthrough path across many
+  // branch seeds; balance and sufficiency must hold dynamically.
+  for (unsigned Seed = 1; Seed != 12; ++Seed) {
+    SimConfig C = configN(20);
+    C.Params.erase("test"); // test(i) is an opaque call: random.
+    C.BranchSeed = Seed;
+    SimStats S = simulate(P.Prog, Plan, C);
+    EXPECT_TRUE(S.ok()) << "seed " << Seed << ": "
+                        << (S.Errors.empty() ? "" : S.Errors.front());
+    EXPECT_EQ(S.Wasted, 0u) << "seed " << Seed;
+  }
+}
+
+TEST(Simulator, DetectsInsufficientPlan) {
+  // An empty plan for a program that consumes distributed data must
+  // trip the dynamic C3 check.
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+u(1) = x(5)
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Broken;
+  Broken.Refs = analyzeReferences(P.Prog, P.G);
+  buildCommProblems(Broken.Refs, P.G, *P.Ifg, CommOptions(),
+                    Broken.ReadProblem, Broken.WriteProblem);
+  SimStats S = simulate(P.Prog, Broken, configN(10));
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.Errors.front().find("C3"), std::string::npos);
+}
+
+TEST(Simulator, DetectsUnbalancedPlan) {
+  Pipeline P = Pipeline::fromSource(R"(
+distribute x
+array u
+u(1) = x(5)
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Broken;
+  Broken.Refs = analyzeReferences(P.Prog, P.G);
+  buildCommProblems(Broken.Refs, P.G, *P.Ifg, CommOptions(),
+                    Broken.ReadProblem, Broken.WriteProblem);
+  // A receive with no matching send.
+  const Stmt *First = P.Prog.getBody().front().get();
+  Broken.Anchored[{First, EmitWhere::Before}].push_back(
+      {CommOpKind::ReadRecv, 0});
+  SimStats S = simulate(P.Prog, Broken, configN(10));
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.Errors.front().find("C1"), std::string::npos);
+}
+
+TEST(Simulator, GotoControlFlow) {
+  // Forward and backward gotos execute correctly (step counts prove it).
+  Pipeline P = Pipeline::fromSource(R"(
+array w
+v = 0
+10 v = v + 1
+if (v < 5) goto 10
+w(1) = v
+)");
+  ASSERT_TRUE(P.Ifg.has_value());
+  CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
+  SimConfig C;
+  SimStats S = simulate(P.Prog, Plan, C);
+  EXPECT_TRUE(S.ok());
+  // v=0, then 5 increments, 5 branch evaluations, final store.
+  EXPECT_EQ(S.Steps, 1u + 5u + 5u + 1u);
+}

@@ -1,0 +1,240 @@
+//===- tools/gntc.cpp - GIVE-N-TAKE command line driver ---------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// gntc: analyze an FMini program and print the communication-annotated
+// form (or other views of the pipeline).
+//
+//   gntc [options] file.fm        (or `-` for stdin)
+//
+// Options:
+//   --annotate       print the annotated program (default)
+//   --pre            run expression PRE instead of communication
+//   --dot            print the control flow graph in Graphviz form
+//   --ifg            print the interval flow graph structure
+//   --stats          print static placement counts
+//   --simulate N     execute with parameter n = N and print metrics
+//   --atomic         fuse send/receive pairs (library-call style)
+//   --owner-computes definitions happen at owners (no WRITEs, no free reads)
+//   --no-hoist       disable zero-trip hoisting
+//   --baseline B     use a baseline instead: naive | vectorized | lcm
+//   --verify         check C1/C3/O1 and exit nonzero on violations
+//   --dump-vars      print every dataflow variable per node (Section 4
+//                    style) for the READ and WRITE problems
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Baselines.h"
+#include "baseline/LazyCodeMotion.h"
+#include "cfg/CfgBuilder.h"
+#include "comm/CommGen.h"
+#include "dataflow/Dump.h"
+#include "frontend/Parser.h"
+#include "interval/IntervalFlowGraph.h"
+#include "pre/ExprPre.h"
+#include "sim/TraceSimulator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace gnt;
+
+namespace {
+
+struct Options {
+  std::string File;
+  bool Annotate = true;
+  bool Pre = false;
+  bool Dot = false;
+  bool Ifg = false;
+  bool Stats = false;
+  bool Verify = false;
+  bool DumpVars = false;
+  long long SimulateN = -1;
+  std::string Baseline;
+  CommOptions Comm;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gntc [--annotate|--pre|--dot|--ifg] [--stats] [--verify]\n"
+      "            [--simulate N] [--atomic] [--owner-computes]\n"
+      "            [--no-hoist] [--baseline naive|vectorized|lcm] FILE\n");
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--annotate") {
+      O.Annotate = true;
+    } else if (A == "--pre") {
+      O.Pre = true;
+    } else if (A == "--dot") {
+      O.Dot = true;
+      O.Annotate = false;
+    } else if (A == "--ifg") {
+      O.Ifg = true;
+      O.Annotate = false;
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--verify") {
+      O.Verify = true;
+    } else if (A == "--dump-vars") {
+      O.DumpVars = true;
+    } else if (A == "--atomic") {
+      O.Comm.Atomic = true;
+    } else if (A == "--owner-computes") {
+      O.Comm.OwnerComputes = true;
+    } else if (A == "--no-hoist") {
+      O.Comm.HoistZeroTrip = false;
+    } else if (A == "--simulate") {
+      if (++I == Argc)
+        return false;
+      O.SimulateN = std::atoll(Argv[I]);
+    } else if (A == "--baseline") {
+      if (++I == Argc)
+        return false;
+      O.Baseline = Argv[I];
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "gntc: unknown option %s\n", A.c_str());
+      return false;
+    } else {
+      O.File = A;
+    }
+  }
+  return !O.File.empty();
+}
+
+std::string readInput(const std::string &File) {
+  if (File == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    return SS.str();
+  }
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "gntc: cannot open %s\n", File.c_str());
+    std::exit(1);
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    usage();
+    return 2;
+  }
+
+  std::string Source = readInput(O.File);
+  ParseResult Parsed = parseProgram(Source);
+  if (!Parsed.success()) {
+    for (const std::string &E : Parsed.Errors)
+      std::fprintf(stderr, "gntc: %s\n", E.c_str());
+    return 1;
+  }
+  CfgBuildResult CfgRes = buildCfg(Parsed.Prog);
+  if (!CfgRes.success()) {
+    for (const std::string &E : CfgRes.Errors)
+      std::fprintf(stderr, "gntc: %s\n", E.c_str());
+    return 1;
+  }
+  if (O.Dot) {
+    std::fputs(CfgRes.G.dot().c_str(), stdout);
+    return 0;
+  }
+  auto IfgRes = IntervalFlowGraph::build(CfgRes.G);
+  if (!IfgRes.success()) {
+    for (const std::string &E : IfgRes.Errors)
+      std::fprintf(stderr, "gntc: %s\n", E.c_str());
+    return 1;
+  }
+  if (O.Ifg) {
+    std::fputs(IfgRes.Ifg->describe(CfgRes.G).c_str(), stdout);
+    return 0;
+  }
+
+  if (O.Pre) {
+    ExprPreResult Pre = runExprPre(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+    std::fputs(Pre.annotate(Parsed.Prog).c_str(), stdout);
+    if (O.Stats)
+      std::printf("! %zu insertions, %zu redundant occurrences\n",
+                  Pre.Insertions.size(), Pre.Redundant.size());
+    if (O.Verify) {
+      GntVerifyResult V = Pre.verify();
+      for (const std::string &Msg : V.Violations)
+        std::fprintf(stderr, "gntc: %s\n", Msg.c_str());
+      return V.ok() ? 0 : 1;
+    }
+    return 0;
+  }
+
+  CommPlan Plan;
+  if (O.Baseline == "naive")
+    Plan = naivePlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+  else if (O.Baseline == "vectorized")
+    Plan = vectorizedPlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+  else if (O.Baseline == "lcm")
+    Plan = lcmPlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+  else if (O.Baseline.empty())
+    Plan = generateComm(Parsed.Prog, CfgRes.G, *IfgRes.Ifg, O.Comm);
+  else {
+    std::fprintf(stderr, "gntc: unknown baseline %s\n", O.Baseline.c_str());
+    return 2;
+  }
+
+  if (O.Annotate)
+    std::fputs(Plan.annotate(Parsed.Prog).c_str(), stdout);
+
+  if (O.DumpVars) {
+    std::vector<std::string> Names = Plan.Refs.Items.names();
+    if (Plan.ReadRun) {
+      std::printf("\n--- READ problem ---\n");
+      std::fputs(dumpGntRun(*Plan.ReadRun, CfgRes.G, Names).c_str(), stdout);
+    }
+    if (Plan.WriteRun) {
+      std::printf("\n--- WRITE problem ---\n");
+      std::fputs(dumpGntRun(*Plan.WriteRun, CfgRes.G, Names).c_str(),
+                 stdout);
+    }
+  }
+
+  if (O.Stats) {
+    auto Counts = Plan.staticCounts();
+    std::printf("! static placements:");
+    for (const auto &[Kind, Count] : Counts)
+      std::printf(" %s=%u", commOpName(Kind), Count);
+    std::printf("\n");
+  }
+
+  if (O.SimulateN >= 0) {
+    SimConfig Config;
+    Config.Params["n"] = O.SimulateN;
+    SimStats S = simulate(Parsed.Prog, Plan, Config);
+    std::printf("! simulate n=%lld: messages=%llu volume=%llu exposed=%.0f "
+                "work=%.0f wasted=%llu redundant=%llu %s\n",
+                O.SimulateN, S.Messages, S.Volume, S.ExposedLatency, S.Work,
+                S.Wasted, S.Redundant,
+                S.ok() ? "ok" : S.Errors.front().c_str());
+    if (!S.ok())
+      return 1;
+  }
+
+  if (O.Verify) {
+    GntVerifyResult V = Plan.verify();
+    for (const std::string &Msg : V.Violations)
+      std::fprintf(stderr, "gntc: %s\n", Msg.c_str());
+    return V.ok() ? 0 : 1;
+  }
+  return 0;
+}
