@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_annotation.cpp" "bench/CMakeFiles/bench_fig14_annotation.dir/bench_fig14_annotation.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_annotation.dir/bench_fig14_annotation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pre/CMakeFiles/gnt_pre.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/gnt_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gnt_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/gnt_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/gnt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gnt_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gnt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/gnt_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gnt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

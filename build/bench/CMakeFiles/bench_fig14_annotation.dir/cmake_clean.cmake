@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_annotation.dir/bench_fig14_annotation.cpp.o"
+  "CMakeFiles/bench_fig14_annotation.dir/bench_fig14_annotation.cpp.o.d"
+  "bench_fig14_annotation"
+  "bench_fig14_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_communication.dir/bench_fig2_communication.cpp.o"
+  "CMakeFiles/bench_fig2_communication.dir/bench_fig2_communication.cpp.o.d"
+  "bench_fig2_communication"
+  "bench_fig2_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_write_read.dir/bench_fig3_write_read.cpp.o"
+  "CMakeFiles/bench_fig3_write_read.dir/bench_fig3_write_read.cpp.o.d"
+  "bench_fig3_write_read"
+  "bench_fig3_write_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_write_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

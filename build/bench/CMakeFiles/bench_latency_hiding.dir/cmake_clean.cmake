@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_hiding.dir/bench_latency_hiding.cpp.o"
+  "CMakeFiles/bench_latency_hiding.dir/bench_latency_hiding.cpp.o.d"
+  "bench_latency_hiding"
+  "bench_latency_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

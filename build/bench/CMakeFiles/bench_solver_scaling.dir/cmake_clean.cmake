@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solver_scaling.dir/bench_solver_scaling.cpp.o"
+  "CMakeFiles/bench_solver_scaling.dir/bench_solver_scaling.cpp.o.d"
+  "bench_solver_scaling"
+  "bench_solver_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solver_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_trip.dir/bench_zero_trip.cpp.o"
+  "CMakeFiles/bench_zero_trip.dir/bench_zero_trip.cpp.o.d"
+  "bench_zero_trip"
+  "bench_zero_trip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_trip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_zero_trip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_mesh.dir/irregular_mesh.cpp.o"
+  "CMakeFiles/irregular_mesh.dir/irregular_mesh.cpp.o.d"
+  "irregular_mesh"
+  "irregular_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

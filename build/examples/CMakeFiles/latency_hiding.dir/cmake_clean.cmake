@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_hiding.dir/latency_hiding.cpp.o"
+  "CMakeFiles/latency_hiding.dir/latency_hiding.cpp.o.d"
+  "latency_hiding"
+  "latency_hiding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_hiding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

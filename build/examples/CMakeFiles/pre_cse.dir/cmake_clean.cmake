@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_cse.dir/pre_cse.cpp.o"
+  "CMakeFiles/pre_cse.dir/pre_cse.cpp.o.d"
+  "pre_cse"
+  "pre_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pre_cse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_write.dir/read_write.cpp.o"
+  "CMakeFiles/read_write.dir/read_write.cpp.o.d"
+  "read_write"
+  "read_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for read_write.
+# This may be replaced when dependencies are built.

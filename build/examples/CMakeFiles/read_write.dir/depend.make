@@ -1,0 +1,2 @@
+# Empty dependencies file for read_write.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_baseline.dir/Baselines.cpp.o"
+  "CMakeFiles/gnt_baseline.dir/Baselines.cpp.o.d"
+  "CMakeFiles/gnt_baseline.dir/LazyCodeMotion.cpp.o"
+  "CMakeFiles/gnt_baseline.dir/LazyCodeMotion.cpp.o.d"
+  "libgnt_baseline.a"
+  "libgnt_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/Cfg.cpp" "src/cfg/CMakeFiles/gnt_cfg.dir/Cfg.cpp.o" "gcc" "src/cfg/CMakeFiles/gnt_cfg.dir/Cfg.cpp.o.d"
+  "/root/repo/src/cfg/CfgBuilder.cpp" "src/cfg/CMakeFiles/gnt_cfg.dir/CfgBuilder.cpp.o" "gcc" "src/cfg/CMakeFiles/gnt_cfg.dir/CfgBuilder.cpp.o.d"
+  "/root/repo/src/cfg/Dominators.cpp" "src/cfg/CMakeFiles/gnt_cfg.dir/Dominators.cpp.o" "gcc" "src/cfg/CMakeFiles/gnt_cfg.dir/Dominators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gnt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

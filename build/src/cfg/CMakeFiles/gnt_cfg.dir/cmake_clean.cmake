@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/gnt_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/gnt_cfg.dir/CfgBuilder.cpp.o"
+  "CMakeFiles/gnt_cfg.dir/CfgBuilder.cpp.o.d"
+  "CMakeFiles/gnt_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/gnt_cfg.dir/Dominators.cpp.o.d"
+  "libgnt_cfg.a"
+  "libgnt_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

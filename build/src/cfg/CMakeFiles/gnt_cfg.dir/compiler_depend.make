@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gnt_cfg.
+# This may be replaced when dependencies are built.

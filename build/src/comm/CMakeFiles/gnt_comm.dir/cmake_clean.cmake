@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_comm.dir/CommGen.cpp.o"
+  "CMakeFiles/gnt_comm.dir/CommGen.cpp.o.d"
+  "CMakeFiles/gnt_comm.dir/Items.cpp.o"
+  "CMakeFiles/gnt_comm.dir/Items.cpp.o.d"
+  "CMakeFiles/gnt_comm.dir/RefAnalysis.cpp.o"
+  "CMakeFiles/gnt_comm.dir/RefAnalysis.cpp.o.d"
+  "libgnt_comm.a"
+  "libgnt_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

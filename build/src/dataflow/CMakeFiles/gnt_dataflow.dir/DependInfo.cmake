@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataflow/Dump.cpp" "src/dataflow/CMakeFiles/gnt_dataflow.dir/Dump.cpp.o" "gcc" "src/dataflow/CMakeFiles/gnt_dataflow.dir/Dump.cpp.o.d"
+  "/root/repo/src/dataflow/GiveNTake.cpp" "src/dataflow/CMakeFiles/gnt_dataflow.dir/GiveNTake.cpp.o" "gcc" "src/dataflow/CMakeFiles/gnt_dataflow.dir/GiveNTake.cpp.o.d"
+  "/root/repo/src/dataflow/Verifier.cpp" "src/dataflow/CMakeFiles/gnt_dataflow.dir/Verifier.cpp.o" "gcc" "src/dataflow/CMakeFiles/gnt_dataflow.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interval/CMakeFiles/gnt_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gnt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gnt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_dataflow.dir/Dump.cpp.o"
+  "CMakeFiles/gnt_dataflow.dir/Dump.cpp.o.d"
+  "CMakeFiles/gnt_dataflow.dir/GiveNTake.cpp.o"
+  "CMakeFiles/gnt_dataflow.dir/GiveNTake.cpp.o.d"
+  "CMakeFiles/gnt_dataflow.dir/Verifier.cpp.o"
+  "CMakeFiles/gnt_dataflow.dir/Verifier.cpp.o.d"
+  "libgnt_dataflow.a"
+  "libgnt_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

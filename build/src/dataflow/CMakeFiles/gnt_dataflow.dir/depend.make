@@ -1,0 +1,2 @@
+# Empty dependencies file for gnt_dataflow.
+# This may be replaced when dependencies are built.

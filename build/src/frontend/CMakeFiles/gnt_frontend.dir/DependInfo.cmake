@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/Lexer.cpp" "src/frontend/CMakeFiles/gnt_frontend.dir/Lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/gnt_frontend.dir/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/frontend/CMakeFiles/gnt_frontend.dir/Parser.cpp.o" "gcc" "src/frontend/CMakeFiles/gnt_frontend.dir/Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/gnt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/gnt_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gnt_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/gnt_frontend.dir/Parser.cpp.o.d"
+  "libgnt_frontend.a"
+  "libgnt_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_gen.dir/RandomProgram.cpp.o"
+  "CMakeFiles/gnt_gen.dir/RandomProgram.cpp.o.d"
+  "libgnt_gen.a"
+  "libgnt_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

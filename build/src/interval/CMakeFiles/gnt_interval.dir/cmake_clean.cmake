@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_interval.dir/IntervalFlowGraph.cpp.o"
+  "CMakeFiles/gnt_interval.dir/IntervalFlowGraph.cpp.o.d"
+  "CMakeFiles/gnt_interval.dir/LoopForest.cpp.o"
+  "CMakeFiles/gnt_interval.dir/LoopForest.cpp.o.d"
+  "libgnt_interval.a"
+  "libgnt_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

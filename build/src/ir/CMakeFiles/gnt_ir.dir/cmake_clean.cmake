@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_ir.dir/Affine.cpp.o"
+  "CMakeFiles/gnt_ir.dir/Affine.cpp.o.d"
+  "CMakeFiles/gnt_ir.dir/Ast.cpp.o"
+  "CMakeFiles/gnt_ir.dir/Ast.cpp.o.d"
+  "CMakeFiles/gnt_ir.dir/AstPrinter.cpp.o"
+  "CMakeFiles/gnt_ir.dir/AstPrinter.cpp.o.d"
+  "libgnt_ir.a"
+  "libgnt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

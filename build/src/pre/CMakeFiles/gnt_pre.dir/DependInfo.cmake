@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pre/ExprPre.cpp" "src/pre/CMakeFiles/gnt_pre.dir/ExprPre.cpp.o" "gcc" "src/pre/CMakeFiles/gnt_pre.dir/ExprPre.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/gnt_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/gnt_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/gnt_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/gnt_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

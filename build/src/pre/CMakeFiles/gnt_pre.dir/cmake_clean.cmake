@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_pre.dir/ExprPre.cpp.o"
+  "CMakeFiles/gnt_pre.dir/ExprPre.cpp.o.d"
+  "libgnt_pre.a"
+  "libgnt_pre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_pre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

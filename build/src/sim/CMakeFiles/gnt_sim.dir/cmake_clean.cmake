@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnt_sim.dir/TraceSimulator.cpp.o"
+  "CMakeFiles/gnt_sim.dir/TraceSimulator.cpp.o.d"
+  "libgnt_sim.a"
+  "libgnt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

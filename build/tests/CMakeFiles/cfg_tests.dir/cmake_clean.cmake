@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfg_tests.dir/CfgTest.cpp.o"
+  "CMakeFiles/cfg_tests.dir/CfgTest.cpp.o.d"
+  "CMakeFiles/cfg_tests.dir/IntervalTest.cpp.o"
+  "CMakeFiles/cfg_tests.dir/IntervalTest.cpp.o.d"
+  "CMakeFiles/cfg_tests.dir/NormalizationTest.cpp.o"
+  "CMakeFiles/cfg_tests.dir/NormalizationTest.cpp.o.d"
+  "cfg_tests"
+  "cfg_tests.pdb"
+  "cfg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

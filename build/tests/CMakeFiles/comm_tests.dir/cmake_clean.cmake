@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tests.dir/CommPaperFiguresTest.cpp.o"
+  "CMakeFiles/comm_tests.dir/CommPaperFiguresTest.cpp.o.d"
+  "CMakeFiles/comm_tests.dir/ReductionTest.cpp.o"
+  "CMakeFiles/comm_tests.dir/ReductionTest.cpp.o.d"
+  "CMakeFiles/comm_tests.dir/RefAnalysisTest.cpp.o"
+  "CMakeFiles/comm_tests.dir/RefAnalysisTest.cpp.o.d"
+  "comm_tests"
+  "comm_tests.pdb"
+  "comm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

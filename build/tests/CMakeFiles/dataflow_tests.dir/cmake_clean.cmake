@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_tests.dir/DumpTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/DumpTest.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/GntPaperValuesTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/GntPaperValuesTest.cpp.o.d"
+  "CMakeFiles/dataflow_tests.dir/GntSolverTest.cpp.o"
+  "CMakeFiles/dataflow_tests.dir/GntSolverTest.cpp.o.d"
+  "dataflow_tests"
+  "dataflow_tests.pdb"
+  "dataflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

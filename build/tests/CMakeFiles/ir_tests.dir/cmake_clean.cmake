@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ir_tests.dir/AffineTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/AffineTest.cpp.o.d"
+  "CMakeFiles/ir_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/ir_tests.dir/ParserTest.cpp.o.d"
+  "ir_tests"
+  "ir_tests.pdb"
+  "ir_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ir_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

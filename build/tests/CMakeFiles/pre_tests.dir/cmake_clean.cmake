@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pre_tests.dir/ExprPreTest.cpp.o"
+  "CMakeFiles/pre_tests.dir/ExprPreTest.cpp.o.d"
+  "pre_tests"
+  "pre_tests.pdb"
+  "pre_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pre_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

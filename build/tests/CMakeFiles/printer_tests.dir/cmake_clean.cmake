@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_tests.dir/AnnotationTest.cpp.o"
+  "CMakeFiles/printer_tests.dir/AnnotationTest.cpp.o.d"
+  "CMakeFiles/printer_tests.dir/GeneratorTest.cpp.o"
+  "CMakeFiles/printer_tests.dir/GeneratorTest.cpp.o.d"
+  "printer_tests"
+  "printer_tests.pdb"
+  "printer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

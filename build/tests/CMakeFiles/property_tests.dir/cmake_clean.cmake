@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/property_tests.dir/PropertyTest.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

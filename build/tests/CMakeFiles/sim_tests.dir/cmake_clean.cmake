@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/BaselineTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/BaselineTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimFeaturesTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimFeaturesTest.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/SimulatorTest.cpp.o"
+  "CMakeFiles/sim_tests.dir/SimulatorTest.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

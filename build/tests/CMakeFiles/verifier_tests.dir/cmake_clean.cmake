@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_tests.dir/VerifierTest.cpp.o"
+  "CMakeFiles/verifier_tests.dir/VerifierTest.cpp.o.d"
+  "verifier_tests"
+  "verifier_tests.pdb"
+  "verifier_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

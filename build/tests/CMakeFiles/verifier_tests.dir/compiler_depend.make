@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for verifier_tests.
+# This may be replaced when dependencies are built.

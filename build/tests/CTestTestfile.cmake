@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/cfg_tests[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_tests[1]_include.cmake")
+include("/root/repo/build/tests/comm_tests[1]_include.cmake")
+include("/root/repo/build/tests/pre_tests[1]_include.cmake")
+include("/root/repo/build/tests/verifier_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/printer_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gntc.dir/gntc.cpp.o"
+  "CMakeFiles/gntc.dir/gntc.cpp.o.d"
+  "gntc"
+  "gntc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gntc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
