@@ -63,7 +63,7 @@ enddo
 
   GntVerifyResult V = Plan.verify();
   std::printf("verification: %s\n\n",
-              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+              V.ok() ? "C1/C3/O1 hold" : V.firstViolation().c_str());
 
   CommPlan Naive = naivePlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
   std::printf("=== Execution (edges = 5000, latency = 400) ===\n");

@@ -63,7 +63,7 @@ z = c + 1
 
   GntVerifyResult V = Pre.verify();
   std::printf("verification: %s\n",
-              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+              V.ok() ? "C1/C3/O1 hold" : V.firstViolation().c_str());
 
   // Highlights to look for in the output above:
   //  - `n * 8` is computed once at the top and reused by the assignment

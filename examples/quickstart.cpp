@@ -70,7 +70,7 @@ enddo
   // C1 balance, C3 sufficiency, O1 no re-production.
   GntVerifyResult V = Plan.verify();
   std::printf("=== Verification ===\n%s\n",
-              V.ok() ? "C1/C3/O1 hold" : V.Violations.front().c_str());
+              V.ok() ? "C1/C3/O1 hold" : V.firstViolation().c_str());
 
   // Execute under an alpha/beta message cost model. The Read_Send issued
   // before the first loop overlaps its latency with the u(i) loop.

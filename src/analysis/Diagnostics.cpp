@@ -1,0 +1,149 @@
+//===- analysis/Diagnostics.cpp - Structured analysis diagnostics -----------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostics.h"
+
+#include "support/Json.h"
+#include "support/Support.h"
+
+using namespace gnt;
+
+const char *gnt::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Error:
+    return "error";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Note:
+    return "note";
+  }
+  gntUnreachable("covered switch");
+}
+
+const char *gnt::checkIdName(CheckId C) {
+  switch (C) {
+  case CheckId::C1:
+    return "C1";
+  case CheckId::C3:
+    return "C3";
+  case CheckId::O1:
+    return "O1";
+  case CheckId::O2:
+    return "O2";
+  case CheckId::O3:
+    return "O3";
+  case CheckId::O3L:
+    return "O3'";
+  case CheckId::Ifg:
+    return "IFG";
+  case CheckId::Diff:
+    return "DIFF";
+  case CheckId::Engine:
+    return "ENGINE";
+  }
+  gntUnreachable("covered switch");
+}
+
+std::string Diagnostic::render() const {
+  std::string R = severityName(Severity);
+  R += ": ";
+  R += checkIdName(Check);
+  if (!Solution.empty()) {
+    R += "/";
+    R += Solution;
+  }
+  R += ": ";
+  if (hasNode())
+    R += "node " + itostr(Node) + ": ";
+  R += Message;
+  if (Item >= 0) {
+    R += " [item ";
+    R += ItemName.empty() ? itostr(Item) : ItemName;
+    R += "]";
+  }
+  if (!FixHint.empty())
+    R += " (hint: " + FixHint + ")";
+  return R;
+}
+
+std::string Diagnostic::json() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("severity").value(severityName(Severity));
+  W.key("check").value(checkIdName(Check));
+  if (hasNode())
+    W.key("node").value(Node);
+  if (Item >= 0) {
+    W.key("item").value(static_cast<long long>(Item));
+    if (!ItemName.empty())
+      W.key("itemName").value(ItemName);
+  }
+  if (!Solution.empty())
+    W.key("solution").value(Solution);
+  W.key("message").value(Message);
+  if (!FixHint.empty())
+    W.key("fixHint").value(FixHint);
+  W.endObject();
+  return W.str();
+}
+
+unsigned DiagnosticSet::count(DiagSeverity S) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Severity == S;
+  return N;
+}
+
+unsigned DiagnosticSet::countCheck(CheckId C) const {
+  unsigned N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Check == C;
+  return N;
+}
+
+const Diagnostic *DiagnosticSet::first(DiagSeverity S) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == S)
+      return &D;
+  return nullptr;
+}
+
+bool DiagnosticSet::contains(CheckId C, unsigned Node) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Check == C && (Node == ~0u || D.Node == Node))
+      return true;
+  return false;
+}
+
+void DiagnosticSet::promoteToErrors() {
+  for (Diagnostic &D : Diags)
+    D.Severity = DiagSeverity::Error;
+}
+
+std::string DiagnosticSet::renderText() const {
+  std::string R;
+  for (const Diagnostic &D : Diags) {
+    R += D.render();
+    R += "\n";
+  }
+  return R;
+}
+
+std::string DiagnosticSet::renderJson() const {
+  std::string R = "{\"diagnostics\":[";
+  for (size_t I = 0; I != Diags.size(); ++I) {
+    if (I)
+      R += ",";
+    R += Diags[I].json();
+  }
+  R += "],\"summary\":{";
+  R += "\"errors\":" + itostr(count(DiagSeverity::Error));
+  R += ",\"warnings\":" + itostr(count(DiagSeverity::Warning));
+  R += ",\"notes\":" + itostr(count(DiagSeverity::Note));
+  R += ",\"total\":" + itostr(static_cast<long long>(Diags.size()));
+  R += "}}";
+  return R;
+}

@@ -1,0 +1,113 @@
+//===- analysis/Diagnostics.h - Structured analysis diagnostics -*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured, machine-readable diagnostics for the static analysis
+/// subsystem. Every violation or optimality miss found by the verifier or
+/// the auditor is a Diagnostic: a severity, a stable check identifier
+/// (C1, C3, O1, O2, O3, O3', IFG, DIFF), an optional node/item location,
+/// the message proper, and an optional fix hint. DiagnosticSet collects
+/// them and renders either human-readable text or JSON (one object per
+/// diagnostic plus a summary), so tools and tests can match on check IDs
+/// and locations instead of scraping strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_ANALYSIS_DIAGNOSTICS_H
+#define GNT_ANALYSIS_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// How bad a finding is. Errors are correctness violations (the run is
+/// wrong); warnings are suspicious-but-survivable; notes are optimality
+/// guideline misses (`--werror` promotes warnings and notes to errors).
+enum class DiagSeverity { Error, Warning, Note };
+
+const char *severityName(DiagSeverity S);
+
+/// Stable identifiers for every check the subsystem performs. The names
+/// follow the paper's correctness criteria and optimality guidelines.
+enum class CheckId {
+  C1,   ///< Balance: EAGER/LAZY productions alternate and end matched.
+  C3,   ///< Sufficiency: consumers covered on all incoming paths.
+  O1,   ///< No production of an already-available item.
+  O2,   ///< Few producers: no production that no consumer ever uses.
+  O3,   ///< Eager productions only where consumption is anticipated.
+  O3L,  ///< "O3'": lazy productions no earlier than demand requires.
+  Ifg,  ///< Interval-flow-graph structural invariants.
+  Diff, ///< Differential check against an independent re-derivation.
+  Engine, ///< Internal failures of an analysis pass itself.
+};
+
+/// Short stable name used in messages and JSON ("C1", "O3'", ...).
+const char *checkIdName(CheckId C);
+
+/// One finding.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  CheckId Check = CheckId::Engine;
+  /// CFG/IFG node the finding is anchored to; ~0u when not node-specific.
+  unsigned Node = ~0u;
+  /// Dataflow item involved; -1 when not item-specific.
+  int Item = -1;
+  /// Display name of the item (empty when unknown).
+  std::string ItemName;
+  /// Which placement solution ("EAGER", "LAZY", or empty).
+  std::string Solution;
+  /// The finding proper.
+  std::string Message;
+  /// Optional suggestion for fixing or interpreting the finding.
+  std::string FixHint;
+
+  bool hasNode() const { return Node != ~0u; }
+
+  /// "error: C3/EAGER: node 5: ..." one-line rendering.
+  std::string render() const;
+
+  /// One JSON object with every populated field.
+  std::string json() const;
+};
+
+/// An ordered collection of diagnostics with renderers and summaries.
+class DiagnosticSet {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+  void append(const DiagnosticSet &Other) {
+    Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+  }
+
+  const std::vector<Diagnostic> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  unsigned count(DiagSeverity S) const;
+  unsigned countCheck(CheckId C) const;
+  bool hasErrors() const { return count(DiagSeverity::Error) != 0; }
+
+  /// First diagnostic of severity \p S, or nullptr.
+  const Diagnostic *first(DiagSeverity S) const;
+
+  /// True if some diagnostic of check \p C mentions node \p Node
+  /// (any node when \p Node is ~0u).
+  bool contains(CheckId C, unsigned Node = ~0u) const;
+
+  /// Promotes every warning and note to an error (--werror semantics).
+  void promoteToErrors();
+
+  /// One line per diagnostic.
+  std::string renderText() const;
+
+  /// {"diagnostics": [...], "summary": {...}} rendering.
+  std::string renderJson() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace gnt
+
+#endif // GNT_ANALYSIS_DIAGNOSTICS_H

@@ -266,10 +266,7 @@ GntVerifyResult CommPlan::verify() const {
   for (const std::optional<GntRun> *Run : {&ReadRun, &WriteRun}) {
     if (!Run->has_value())
       continue;
-    GntVerifyResult V = verifyGntRun(**Run, Names);
-    All.Violations.insert(All.Violations.end(), V.Violations.begin(),
-                          V.Violations.end());
-    All.Notes.insert(All.Notes.end(), V.Notes.begin(), V.Notes.end());
+    All.append(verifyGntRun(**Run, Names));
   }
   return All;
 }

@@ -24,6 +24,8 @@
 
 #include "dataflow/GiveNTake.h"
 
+#include <algorithm>
+
 #include "support/Support.h"
 
 using namespace gnt;
@@ -309,9 +311,17 @@ GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
       Pl->ResOut[Node] = std::move(Out);
 
       // The paper's no-critical-edge argument (Section 4.5) implies exit
-      // production only lands on single-successor nodes.
-      assert((Pl->ResOut[Node].none() || Ifg.succs(Node).size() == 1) &&
-             "RES_out on a multi-successor node");
+      // production only lands on single-successor nodes.  JUMP edges are
+      // the one exception: a jump source keeps both its fall-through and
+      // its jump successor (normalization never splits jump edges), so
+      // the argument does not apply there; Section 5.3's header poisoning
+      // keeps such placements balanced instead.
+      assert((Pl->ResOut[Node].none() || Ifg.succs(Node).size() == 1 ||
+              std::any_of(Ifg.succs(Node).begin(), Ifg.succs(Node).end(),
+                          [](const IfgEdge &E) {
+                            return E.Type == EdgeType::Jump;
+                          })) &&
+             "RES_out on a multi-successor non-jump node");
     }
   }
 

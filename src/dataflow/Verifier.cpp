@@ -51,7 +51,10 @@ public:
 
   void run() {
     if (Start == InvalidNode) {
-      Out.Violations.push_back("oriented graph has no unique start node");
+      Diagnostic D;
+      D.Check = CheckId::Ifg;
+      D.Message = "oriented graph has no unique start node";
+      Out.Diags.add(std::move(D));
       return;
     }
     checkSufficiency(R.Eager, "EAGER");
@@ -75,7 +78,20 @@ private:
     return Found;
   }
 
-  void violation(const std::string &Msg) { Out.Violations.push_back(Msg); }
+  void report(DiagSeverity Sev, CheckId Check, const char *Solution,
+              NodeId Node, unsigned Item, std::string Msg,
+              std::string Hint = "") {
+    Diagnostic D;
+    D.Severity = Sev;
+    D.Check = Check;
+    D.Solution = Solution ? Solution : "";
+    D.Node = Node;
+    D.Item = static_cast<int>(Item);
+    D.ItemName = itemName(Names, Item);
+    D.Message = std::move(Msg);
+    D.FixHint = std::move(Hint);
+    Out.Diags.add(std::move(D));
+  }
 
   /// C3 and O1 for one solution: a must-availability forward dataflow
   /// using only the *_init sets (real program semantics) plus the
@@ -166,9 +182,11 @@ private:
       BitVector Need = P.TakeInit[Node];
       Need.reset(AvailBody[Node]);
       for (unsigned I : Need)
-        violation(std::string("C3/") + Tag + ": node " + itostr(Node) +
-                  " consumes " + itemName(Names, I) +
-                  " which is not available on all incoming paths");
+        report(DiagSeverity::Error, CheckId::C3, Tag, Node, I,
+               "consumes " + itemName(Names, I) +
+                   " which is not available on all incoming paths",
+               "a production must dominate this consumer with no "
+               "intervening steal");
       // O1: no production of an item that is must-available on every
       // incoming *entry* path (production on cycle paths is not applied,
       // so compare against entry-side availability).
@@ -190,18 +208,18 @@ private:
       BitVector Re = Pl.ResIn[Node];
       Re &= EntryAvail;
       for (unsigned I : Re)
-        Out.Notes.push_back(std::string("O1/") + Tag + ": node " +
-                            itostr(Node) + " re-produces " +
-                            itemName(Names, I));
+        report(DiagSeverity::Note, CheckId::O1, Tag, Node, I,
+               "re-produces " + itemName(Names, I),
+               "drop the redundant production at the node entry");
       BitVector AfterSteal = AvailBody[Node];
       AfterSteal |= P.GiveInit[Node];
       AfterSteal.reset(P.StealInit[Node]);
       BitVector ReOut = Pl.ResOut[Node];
       ReOut &= AfterSteal;
       for (unsigned I : ReOut)
-        Out.Notes.push_back(std::string("O1/") + Tag + ": node " +
-                            itostr(Node) + " re-produces " +
-                            itemName(Names, I) + " at its exit");
+        report(DiagSeverity::Note, CheckId::O1, Tag, Node, I,
+               "re-produces " + itemName(Names, I) + " at its exit",
+               "drop the redundant production at the node exit");
     }
   }
 
@@ -214,12 +232,13 @@ private:
     std::vector<BitVector> Pend(N, BitVector(U));
     std::vector<BitVector> Clear(N, BitVector(U));
 
-    std::set<std::string> Reported;
-    auto report = [&](NodeId Node, unsigned Item, const char *What) {
-      std::string Msg = std::string("C1: node ") + itostr(Node) + ": " +
-                        What + " of " + itemName(Names, Item);
-      if (Reported.insert(Msg).second)
-        violation(Msg);
+    std::set<std::pair<NodeId, std::string>> Reported;
+    auto reportC1 = [&](NodeId Node, unsigned Item, const char *What) {
+      std::string Msg = std::string(What) + " of " + itemName(Names, Item);
+      if (Reported.insert({Node, Msg}).second)
+        report(DiagSeverity::Error, CheckId::C1, nullptr, Node, Item,
+               std::move(Msg),
+               "eager and lazy productions must alternate on every path");
     };
 
     struct State {
@@ -232,7 +251,7 @@ private:
         BitVector Bad = Send;
         Bad &= S.Pend;
         for (unsigned I : Bad)
-          report(Node, I, "unmatched second eager production (send)");
+          reportC1(Node, I, "unmatched second eager production (send)");
       }
       S.Pend |= Send;
       S.Clear.reset(Send);
@@ -243,7 +262,7 @@ private:
         BitVector Bad = Recv;
         Bad &= S.Clear;
         for (unsigned I : Bad)
-          report(Node, I, "lazy production (receive) without prior send");
+          reportC1(Node, I, "lazy production (receive) without prior send");
       }
       S.Clear |= Recv;
       S.Pend.reset(Recv);
@@ -313,7 +332,7 @@ private:
       }
       if (!HasRealSucc)
         for (unsigned I : Out_.Pend)
-          report(Node, I, "eager production (send) never matched at exit");
+          reportC1(Node, I, "eager production (send) never matched at exit");
     }
   }
 

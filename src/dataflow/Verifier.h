@@ -20,11 +20,17 @@
 /// because deliberate hoisting out of zero-trip loops makes the static
 /// criterion configuration-dependent (Section 3.2).
 ///
+/// Findings are reported as structured diagnostics (analysis/Diagnostics);
+/// the deeper audit passes (O2/O3/O3', structural lint, differential
+/// re-derivation) live in analysis/Auditor and share the same diagnostics
+/// vocabulary.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GNT_DATAFLOW_VERIFIER_H
 #define GNT_DATAFLOW_VERIFIER_H
 
+#include "analysis/Diagnostics.h"
 #include "dataflow/GiveNTake.h"
 
 #include <string>
@@ -32,13 +38,27 @@
 
 namespace gnt {
 
-/// Outcome of verification. Violations are hard correctness failures;
-/// notes report optimality-guideline misses.
+/// Outcome of verification. Error diagnostics are hard correctness
+/// failures; notes report optimality-guideline misses.
 struct GntVerifyResult {
-  std::vector<std::string> Violations;
-  std::vector<std::string> Notes;
+  DiagnosticSet Diags;
 
-  bool ok() const { return Violations.empty(); }
+  bool ok() const { return !Diags.hasErrors(); }
+  bool hasNotes() const { return Diags.count(DiagSeverity::Note) != 0; }
+
+  /// Rendered first error diagnostic, or "" (test/CLI convenience).
+  std::string firstViolation() const {
+    const Diagnostic *D = Diags.first(DiagSeverity::Error);
+    return D ? D->render() : std::string();
+  }
+
+  /// Rendered first note diagnostic, or "".
+  std::string firstNote() const {
+    const Diagnostic *D = Diags.first(DiagSeverity::Note);
+    return D ? D->render() : std::string();
+  }
+
+  void append(const GntVerifyResult &Other) { Diags.append(Other.Diags); }
 };
 
 /// Verifies \p Run. \p ItemNames (optional, may be empty) gives items

@@ -1,0 +1,126 @@
+//===- support/Json.h - Minimal JSON emission helpers ----------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny hand-rolled JSON writer used by the structured diagnostics
+/// renderer (`gntc --audit-json`). No external dependencies: the output
+/// vocabulary is small (objects, arrays, strings, integers, booleans), so
+/// a streaming writer with explicit escaping is all we need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_JSON_H
+#define GNT_SUPPORT_JSON_H
+
+#include <sstream>
+#include <string>
+
+namespace gnt {
+
+/// Escapes \p S for inclusion inside a double-quoted JSON string.
+inline std::string jsonEscape(const std::string &S) {
+  std::string R;
+  R.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      R += "\\\"";
+      break;
+    case '\\':
+      R += "\\\\";
+      break;
+    case '\n':
+      R += "\\n";
+      break;
+    case '\r':
+      R += "\\r";
+      break;
+    case '\t':
+      R += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        R += Buf;
+      } else {
+        R += C;
+      }
+    }
+  }
+  return R;
+}
+
+/// Streaming writer for a flat mix of objects and arrays. The caller is
+/// responsible for well-formedness (balanced begin/end calls); the writer
+/// tracks comma placement only.
+class JsonWriter {
+public:
+  std::string str() const { return OS.str(); }
+
+  JsonWriter &beginObject() {
+    sep();
+    OS << "{";
+    First = true;
+    return *this;
+  }
+  JsonWriter &endObject() {
+    OS << "}";
+    First = false;
+    return *this;
+  }
+  JsonWriter &beginArray(const std::string &Key = "") {
+    sep();
+    if (!Key.empty())
+      OS << "\"" << jsonEscape(Key) << "\":";
+    OS << "[";
+    First = true;
+    return *this;
+  }
+  JsonWriter &endArray() {
+    OS << "]";
+    First = false;
+    return *this;
+  }
+
+  JsonWriter &key(const std::string &K) {
+    sep();
+    OS << "\"" << jsonEscape(K) << "\":";
+    First = true; // The value that follows needs no comma.
+    return *this;
+  }
+  JsonWriter &value(const std::string &V) {
+    sep();
+    OS << "\"" << jsonEscape(V) << "\"";
+    return *this;
+  }
+  JsonWriter &value(const char *V) { return value(std::string(V)); }
+  JsonWriter &value(long long V) {
+    sep();
+    OS << V;
+    return *this;
+  }
+  JsonWriter &value(unsigned V) { return value(static_cast<long long>(V)); }
+  JsonWriter &value(bool V) {
+    sep();
+    OS << (V ? "true" : "false");
+    return *this;
+  }
+
+private:
+  void sep() {
+    if (!First)
+      OS << ",";
+    First = false;
+  }
+
+  std::ostringstream OS;
+  bool First = true;
+};
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_JSON_H

@@ -70,7 +70,7 @@ endif
   EXPECT_EQ(Plan.Refs.Items.item(0).Key, "x(a(1:n))");
 
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
 
   std::string Out = Plan.annotate(P.Prog);
   SCOPED_TRACE(Out);
@@ -122,7 +122,7 @@ enddo
   CommPlan Plan = planFor(P);
 
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
 
   std::string Out = Plan.annotate(P.Prog);
   SCOPED_TRACE(Out);
@@ -169,7 +169,7 @@ TEST(CommFigures, Fig14AnnotatedProgram) {
   CommPlan Plan = planFor(P);
 
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
 
   std::string Out = Plan.annotate(P.Prog);
   SCOPED_TRACE(Out);
@@ -276,5 +276,5 @@ enddo
   // Opt-out: communication stays inside the loop, before the consumer.
   EXPECT_GT(Out2.find("Read_Send{x(1:n)}"), Out2.find("do k"));
   GntVerifyResult V = Plan2.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
 }

@@ -238,6 +238,6 @@ TEST_F(PaperValues, ResLazy) {
 // The whole run satisfies C1/C3/O1 per the independent verifier.
 TEST_F(PaperValues, VerifierAccepts) {
   GntVerifyResult V = verifyGntRun(Run, Names);
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
-  EXPECT_TRUE(V.Notes.empty()) << (V.Notes.empty() ? "" : V.Notes.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
+  EXPECT_FALSE(V.hasNotes()) << V.firstNote();
 }

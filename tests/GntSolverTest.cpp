@@ -47,10 +47,8 @@ unsigned productionCount(const GntPlacement &Pl, unsigned Item) {
 
 void expectVerified(const GntRun &Run, const char *What) {
   GntVerifyResult V = verifyGntRun(Run);
-  EXPECT_TRUE(V.ok()) << What << ": "
-                      << (V.Violations.empty() ? "" : V.Violations.front());
-  EXPECT_TRUE(V.Notes.empty()) << What << ": "
-                               << (V.Notes.empty() ? "" : V.Notes.front());
+  EXPECT_TRUE(V.ok()) << What << ": " << V.firstViolation();
+  EXPECT_FALSE(V.hasNotes()) << What << ": " << V.firstNote();
 }
 
 /// Finds the single Stmt node assigning to scalar \p Var.

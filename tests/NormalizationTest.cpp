@@ -143,7 +143,7 @@ if (v < n) goto 10
   ASSERT_TRUE(P.Ifg.has_value());
   CommPlan Plan = generateComm(P.Prog, P.G, *P.Ifg);
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
   SimConfig C;
   C.Params["n"] = 10;
   SimStats S = simulate(P.Prog, Plan, C);

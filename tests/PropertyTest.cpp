@@ -94,9 +94,10 @@ TEST_P(RandomPrograms, StaticInvariantsHold) {
     ASSERT_TRUE(B.has_value());
     CommPlan Plan = generateComm(B->Prog, B->G, B->Ifg);
     GntVerifyResult V = Plan.verify();
-    EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
-    for (const std::string &Note : V.Notes)
-      ADD_FAILURE() << "optimality note: " << Note;
+    EXPECT_TRUE(V.ok()) << V.firstViolation();
+    for (const Diagnostic &D : V.Diags.all())
+      if (D.Severity == DiagSeverity::Note)
+        ADD_FAILURE() << "optimality note: " << D.render();
   }
 }
 
@@ -135,7 +136,7 @@ TEST_P(RandomPrograms, OptionCombinationsHold) {
         EXPECT_TRUE(V.ok())
             << "atomic=" << Atomic << " hoist=" << Hoist
             << " owner=" << Owner << ": "
-            << (V.Violations.empty() ? "" : V.Violations.front());
+            << V.firstViolation();
         unsigned Wasted = 0;
         simulateClean(*B, Plan, "options", Wasted);
       }

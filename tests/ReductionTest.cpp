@@ -56,7 +56,7 @@ enddo
   EXPECT_GT(Out.find("Write_Send[+]"), Out.find("enddo"));
 
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
   SimConfig C;
   C.Params["n"] = 32;
   SimStats S = simulate(P.Prog, Plan, C);

@@ -214,7 +214,7 @@ u(2) = x(m + 1)
     AnySteal |= Plan.ReadProblem.StealInit[Id].any();
   EXPECT_TRUE(AnySteal);
   GntVerifyResult V = Plan.verify();
-  EXPECT_TRUE(V.ok()) << (V.Violations.empty() ? "" : V.Violations.front());
+  EXPECT_TRUE(V.ok()) << V.firstViolation();
 }
 
 TEST(RefAnalysis, UsesInConditionsAndBounds) {

@@ -38,8 +38,9 @@ NodeId findAssign(const Cfg &G, const std::string &Var) {
 }
 
 bool hasViolation(const GntVerifyResult &V, const std::string &Substr) {
-  for (const std::string &Msg : V.Violations)
-    if (Msg.find(Substr) != std::string::npos)
+  for (const Diagnostic &D : V.Diags.all())
+    if (D.Severity == DiagSeverity::Error &&
+        D.render().find(Substr) != std::string::npos)
       return true;
   return false;
 }
@@ -156,9 +157,9 @@ TEST(Verifier, ReportsRedundantProductionAsNote) {
   // Sequence on the only path: send(v)... recv(u), send(u-exit), recv(w):
   // balanced, but u's receive re-produces an available item.
   GntVerifyResult Res = verifyGntRun(Run);
-  EXPECT_TRUE(Res.ok()) << Res.Violations.front();
-  ASSERT_FALSE(Res.Notes.empty());
-  EXPECT_NE(Res.Notes.front().find("O1"), std::string::npos);
+  EXPECT_TRUE(Res.ok()) << Res.firstViolation();
+  ASSERT_TRUE(Res.hasNotes());
+  EXPECT_NE(Res.firstNote().find("O1"), std::string::npos);
 }
 
 TEST(Verifier, SolverOutputsAlwaysPassOnPaperFigures) {
@@ -177,9 +178,7 @@ TEST(Verifier, SolverOutputsAlwaysPassOnPaperFigures) {
       Prob.Dir = Dir;
       GntRun Run = runGiveNTake(*P.Ifg, Prob);
       GntVerifyResult V = verifyGntRun(Run);
-      EXPECT_TRUE(V.ok()) << Src << ": "
-                          << (V.Violations.empty() ? ""
-                                                   : V.Violations.front());
+      EXPECT_TRUE(V.ok()) << Src << ": " << V.firstViolation();
     }
   }
 }

@@ -9,23 +9,12 @@
 //
 //   gntc [options] file.fm        (or `-` for stdin)
 //
-// Options:
-//   --annotate       print the annotated program (default)
-//   --pre            run expression PRE instead of communication
-//   --dot            print the control flow graph in Graphviz form
-//   --ifg            print the interval flow graph structure
-//   --stats          print static placement counts
-//   --simulate N     execute with parameter n = N and print metrics
-//   --atomic         fuse send/receive pairs (library-call style)
-//   --owner-computes definitions happen at owners (no WRITEs, no free reads)
-//   --no-hoist       disable zero-trip hoisting
-//   --baseline B     use a baseline instead: naive | vectorized | lcm
-//   --verify         check C1/C3/O1 and exit nonzero on violations
-//   --dump-vars      print every dataflow variable per node (Section 4
-//                    style) for the READ and WRITE problems
+// The option table lives in usage() below and must stay in sync with
+// parseArgs(); ToolCliTest checks the obvious drift cases.
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Auditor.h"
 #include "baseline/Baselines.h"
 #include "baseline/LazyCodeMotion.h"
 #include "cfg/CfgBuilder.h"
@@ -37,6 +26,7 @@
 #include "sim/TraceSimulator.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,21 +44,51 @@ struct Options {
   bool Ifg = false;
   bool Stats = false;
   bool Verify = false;
+  bool Audit = false;
+  bool AuditJson = false;
+  bool Werror = false;
   bool DumpVars = false;
   long long SimulateN = -1;
   std::string Baseline;
   CommOptions Comm;
 };
 
-void usage() {
+/// Keep this table exhaustive: every flag parseArgs() accepts is listed
+/// here, one line per option.
+void usage(std::FILE *To) {
   std::fprintf(
-      stderr,
-      "usage: gntc [--annotate|--pre|--dot|--ifg] [--stats] [--verify]\n"
-      "            [--simulate N] [--atomic] [--owner-computes]\n"
-      "            [--no-hoist] [--baseline naive|vectorized|lcm] FILE\n");
+      To,
+      "usage: gntc [options] FILE      (FILE may be `-` for stdin)\n"
+      "\n"
+      "views:\n"
+      "  --annotate        print the annotated program (default)\n"
+      "  --pre             run expression PRE instead of communication\n"
+      "  --dot             print the control flow graph in Graphviz form\n"
+      "  --ifg             print the interval flow graph structure\n"
+      "  --stats           print static placement counts\n"
+      "  --dump-vars       print every dataflow variable per node\n"
+      "                    (Section 4 style) for the READ/WRITE problems\n"
+      "  --simulate N      execute with parameter n = N and print metrics\n"
+      "\n"
+      "placement options:\n"
+      "  --atomic          fuse send/receive pairs (library-call style)\n"
+      "  --owner-computes  definitions happen at owners (no WRITEs,\n"
+      "                    no free reads)\n"
+      "  --no-hoist        disable zero-trip hoisting\n"
+      "  --baseline B      use a baseline instead: naive | vectorized | lcm\n"
+      "\n"
+      "checking:\n"
+      "  --verify          check C1/C3/O1 and exit nonzero on violations\n"
+      "  --audit           run the full static audit (structure, C1/C3,\n"
+      "                    O1/O2/O3/O3', differential re-derivation)\n"
+      "  --audit-json      like --audit, printing JSON diagnostics on stdout\n"
+      "  --werror          treat audit/verify warnings and notes as errors\n"
+      "\n"
+      "  --help            print this help\n");
 }
 
-bool parseArgs(int Argc, char **Argv, Options &O) {
+bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
+  Exit = 2;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--annotate") {
@@ -85,6 +105,15 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Stats = true;
     } else if (A == "--verify") {
       O.Verify = true;
+    } else if (A == "--audit") {
+      O.Audit = true;
+      O.Annotate = false;
+    } else if (A == "--audit-json") {
+      O.Audit = true;
+      O.AuditJson = true;
+      O.Annotate = false;
+    } else if (A == "--werror") {
+      O.Werror = true;
     } else if (A == "--dump-vars") {
       O.DumpVars = true;
     } else if (A == "--atomic") {
@@ -94,13 +123,28 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (A == "--no-hoist") {
       O.Comm.HoistZeroTrip = false;
     } else if (A == "--simulate") {
-      if (++I == Argc)
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --simulate needs a value\n");
         return false;
-      O.SimulateN = std::atoll(Argv[I]);
+      }
+      char *End = nullptr;
+      O.SimulateN = std::strtoll(Argv[I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || O.SimulateN < 0) {
+        std::fprintf(stderr,
+                     "gntc: --simulate needs a non-negative integer, got %s\n",
+                     Argv[I]);
+        return false;
+      }
     } else if (A == "--baseline") {
-      if (++I == Argc)
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --baseline needs a value\n");
         return false;
+      }
       O.Baseline = Argv[I];
+    } else if (A == "--help") {
+      usage(stdout);
+      Exit = 0;
+      return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
       std::fprintf(stderr, "gntc: unknown option %s\n", A.c_str());
       return false;
@@ -108,7 +152,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.File = A;
     }
   }
-  return !O.File.empty();
+  if (O.File.empty()) {
+    std::fprintf(stderr, "gntc: no input file\n");
+    return false;
+  }
+  return true;
 }
 
 std::string readInput(const std::string &File) {
@@ -127,13 +175,71 @@ std::string readInput(const std::string &File) {
   return SS.str();
 }
 
+/// Prints verifier diagnostics (errors after any --werror promotion) and
+/// converts the outcome to an exit code.
+int finishVerify(GntVerifyResult V, const Options &O) {
+  if (O.Werror)
+    V.Diags.promoteToErrors();
+  for (const Diagnostic &D : V.Diags.all())
+    if (D.Severity == DiagSeverity::Error)
+      std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
+  return V.ok() ? 0 : 1;
+}
+
+/// Audits every solver run in sight, merges the findings, renders them
+/// (text on stderr, or JSON on stdout with --audit-json) and converts
+/// the outcome to an exit code.
+class AuditDriver {
+public:
+  explicit AuditDriver(const Options &O) : O(O) {}
+
+  void add(const GntRun &Run, const std::vector<std::string> &Names,
+           const char *Label) {
+    AuditResult A = auditGntRun(Run, Names);
+    for (Diagnostic D : A.Diags.all()) {
+      // Qualify findings with the problem they belong to.
+      D.Message = std::string(Label) + ": " + D.Message;
+      All.add(std::move(D));
+    }
+    Solves += A.Stats.EngineSolves;
+    Sweeps += A.Stats.ReferenceSweeps;
+  }
+
+  int finish() {
+    if (O.Werror)
+      All.promoteToErrors();
+    if (O.AuditJson) {
+      std::fputs(All.renderJson().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      for (const Diagnostic &D : All.all())
+        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
+      std::fprintf(stderr,
+                   "gntc: audit: %u errors, %u warnings, %u notes "
+                   "(%u dataflow solves, %u reference sweeps)\n",
+                   All.count(DiagSeverity::Error),
+                   All.count(DiagSeverity::Warning),
+                   All.count(DiagSeverity::Note), Solves, Sweeps);
+    }
+    return All.hasErrors() ? 1 : 0;
+  }
+
+private:
+  const Options &O;
+  DiagnosticSet All;
+  unsigned Solves = 0;
+  unsigned Sweeps = 0;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   Options O;
-  if (!parseArgs(Argc, Argv, O)) {
-    usage();
-    return 2;
+  int Exit = 2;
+  if (!parseArgs(Argc, Argv, O, Exit)) {
+    if (Exit != 0)
+      usage(stderr);
+    return Exit;
   }
 
   std::string Source = readInput(O.File);
@@ -166,16 +272,17 @@ int main(int Argc, char **Argv) {
 
   if (O.Pre) {
     ExprPreResult Pre = runExprPre(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
+    if (O.Audit) {
+      AuditDriver Audit(O);
+      Audit.add(Pre.Run, Pre.Exprs, "PRE");
+      return Audit.finish();
+    }
     std::fputs(Pre.annotate(Parsed.Prog).c_str(), stdout);
     if (O.Stats)
       std::printf("! %zu insertions, %zu redundant occurrences\n",
                   Pre.Insertions.size(), Pre.Redundant.size());
-    if (O.Verify) {
-      GntVerifyResult V = Pre.verify();
-      for (const std::string &Msg : V.Violations)
-        std::fprintf(stderr, "gntc: %s\n", Msg.c_str());
-      return V.ok() ? 0 : 1;
-    }
+    if (O.Verify)
+      return finishVerify(Pre.verify(), O);
     return 0;
   }
 
@@ -191,6 +298,25 @@ int main(int Argc, char **Argv) {
   else {
     std::fprintf(stderr, "gntc: unknown baseline %s\n", O.Baseline.c_str());
     return 2;
+  }
+
+  if (O.Audit) {
+    // Baseline plans carry no GNT dataflow runs, so there is nothing for
+    // the auditor to re-check; reject instead of printing a vacuous pass.
+    if (!Plan.ReadRun && !Plan.WriteRun) {
+      std::fprintf(stderr,
+                   "gntc: --audit requires a GIVE-N-TAKE plan "
+                   "(baseline `%s` has no dataflow runs to audit)\n",
+                   O.Baseline.c_str());
+      return 2;
+    }
+    AuditDriver Audit(O);
+    std::vector<std::string> Names = Plan.Refs.Items.names();
+    if (Plan.ReadRun)
+      Audit.add(*Plan.ReadRun, Names, "READ");
+    if (Plan.WriteRun)
+      Audit.add(*Plan.WriteRun, Names, "WRITE");
+    return Audit.finish();
   }
 
   if (O.Annotate)
@@ -230,11 +356,7 @@ int main(int Argc, char **Argv) {
       return 1;
   }
 
-  if (O.Verify) {
-    GntVerifyResult V = Plan.verify();
-    for (const std::string &Msg : V.Violations)
-      std::fprintf(stderr, "gntc: %s\n", Msg.c_str());
-    return V.ok() ? 0 : 1;
-  }
+  if (O.Verify)
+    return finishVerify(Plan.verify(), O);
   return 0;
 }
