@@ -1,0 +1,125 @@
+//===- bench/bench_pipeline_throughput.cpp - Service throughput -------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the batch compilation service over generated workloads:
+// jobs/sec as the worker count scales (the paper's O(E) elimination
+// solver gets a throughput benchmark, not only a latency one), and the
+// effect of the content-hash result cache at several repeat ratios. CI
+// emits these numbers as BENCH_pipeline.json to start the service perf
+// trajectory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BatchServer.h"
+
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+#include "support/Json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace gnt;
+
+namespace {
+
+/// A batch of inline-source request lines over seeded random programs.
+/// \p DistinctSeeds controls the repeat ratio: Count jobs drawing from
+/// fewer seeds means a hotter cache.
+std::vector<std::string> makeWorkload(unsigned Count, unsigned DistinctSeeds,
+                                      bool Audit) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    GenConfig Config;
+    Config.Seed = 1 + (I % DistinctSeeds);
+    Config.TargetStmts = 24;
+    std::string Source = AstPrinter().print(generateRandomProgram(Config));
+    std::string Line = "{\"id\":\"job-" + std::to_string(I) +
+                       "\",\"source\":\"" + jsonEscape(Source) + "\"";
+    if (Audit)
+      Line += ",\"options\":{\"audit\":true}";
+    Line += "}";
+    Lines.push_back(std::move(Line));
+  }
+  return Lines;
+}
+
+/// Jobs/sec vs worker count, cold cache (every job distinct, caching
+/// off so the measurement is pure pipeline work + scheduling).
+void BM_BatchThroughput(benchmark::State &State) {
+  unsigned Workers = static_cast<unsigned>(State.range(0));
+  unsigned Jobs = 96;
+  std::vector<std::string> Lines =
+      makeWorkload(Jobs, /*DistinctSeeds=*/Jobs, /*Audit=*/false);
+  for (auto _ : State) {
+    ServiceConfig Config;
+    Config.Workers = Workers;
+    Config.CacheCapacity = 0;
+    BatchServer Server(Config);
+    std::vector<std::string> Responses = Server.run(Lines);
+    benchmark::DoNotOptimize(Responses);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Jobs);
+  State.counters["workers"] = Workers;
+}
+
+/// Same scaling curve with the audit on: heavier per-job work, which is
+/// where extra workers pay off most.
+void BM_BatchThroughputAudited(benchmark::State &State) {
+  unsigned Workers = static_cast<unsigned>(State.range(0));
+  unsigned Jobs = 48;
+  std::vector<std::string> Lines =
+      makeWorkload(Jobs, /*DistinctSeeds=*/Jobs, /*Audit=*/true);
+  for (auto _ : State) {
+    ServiceConfig Config;
+    Config.Workers = Workers;
+    Config.CacheCapacity = 0;
+    BatchServer Server(Config);
+    std::vector<std::string> Responses = Server.run(Lines);
+    benchmark::DoNotOptimize(Responses);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Jobs);
+  State.counters["workers"] = Workers;
+}
+
+/// Cache effectiveness: fixed job count, shrinking distinct-program
+/// pool. Reports the measured hit rate alongside jobs/sec.
+void BM_CacheHitRatio(benchmark::State &State) {
+  unsigned DistinctSeeds = static_cast<unsigned>(State.range(0));
+  unsigned Jobs = 96;
+  std::vector<std::string> Lines =
+      makeWorkload(Jobs, DistinctSeeds, /*Audit=*/false);
+  double HitRate = 0;
+  for (auto _ : State) {
+    ServiceConfig Config;
+    Config.Workers = 2;
+    Config.CacheCapacity = 1024;
+    BatchServer Server(Config);
+    std::vector<std::string> Responses = Server.run(Lines);
+    benchmark::DoNotOptimize(Responses);
+    HitRate = Server.metrics().cacheHitRate();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Jobs);
+  State.counters["distinct"] = DistinctSeeds;
+  State.counters["hit_rate"] = HitRate;
+}
+
+} // namespace
+
+// UseRealTime: the work happens on pool threads, so CPU time of the
+// benchmark thread would flatter every configuration; jobs/sec must be
+// wall clock.
+BENCHMARK(BM_BatchThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_BatchThroughputAudited)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_CacheHitRatio)->Arg(96)->Arg(24)->Arg(6)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -43,6 +43,10 @@ const char *gnt::checkIdName(CheckId C) {
     return "DIFF";
   case CheckId::Engine:
     return "ENGINE";
+  case CheckId::Parse:
+    return "PARSE";
+  case CheckId::Build:
+    return "BUILD";
   }
   gntUnreachable("covered switch");
 }

@@ -43,6 +43,8 @@ enum class CheckId {
   Ifg,  ///< Interval-flow-graph structural invariants.
   Diff, ///< Differential check against an independent re-derivation.
   Engine, ///< Internal failures of an analysis pass itself.
+  Parse,  ///< Frontend: the source failed to parse.
+  Build,  ///< CFG/interval construction failed (labels, irreducibility).
 };
 
 /// Short stable name used in messages and JSON ("C1", "O3'", ...).

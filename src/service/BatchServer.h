@@ -1,0 +1,136 @@
+//===- service/BatchServer.h - Batch compilation server --------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `gntd` server core: a batch of JSON-lines compilation requests
+/// fanned out over a worker thread pool, with a content-addressed
+/// result cache and service metrics.
+///
+/// One request per line:
+///
+/// \code
+///   {"id": "job-1", "source": "distribute x\n...", "options": {...}}
+///   {"id": "job-2", "file": "examples/fm/fig11.fm"}
+/// \endcode
+///
+/// Exactly one of "source" (inline program text) or "file" (path read
+/// by the worker) is required; "id" defaults to the 1-based line
+/// number; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
+/// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
+/// "writes", "annotate", "audit", "verify", "werror".
+///
+/// One response line per request, in request order regardless of
+/// scheduling: {"id": ..., "result": {"ok": ..., "annotated": ...,
+/// "placements": ..., "diagnostics": ..., "summary": ...}}. Failures
+/// are isolated: a request that fails to parse (JSON or FMini) or
+/// fails its audit produces a diagnostic payload and never kills the
+/// batch. The "result" object is deterministic — it carries no timing
+/// or cache state — so serial and parallel runs are byte-identical.
+///
+/// Repeat requests are served from an LRU-bounded cache keyed on the
+/// FNV-1a content hash of (canonicalized options, source); hit/miss
+/// counters and per-stage latency distributions land in
+/// ServiceMetrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SERVICE_BATCHSERVER_H
+#define GNT_SERVICE_BATCHSERVER_H
+
+#include "service/Metrics.h"
+#include "service/Pipeline.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gnt {
+
+/// One decoded compilation request.
+struct ServiceRequest {
+  std::string Id;     ///< Echoed back; line number when absent.
+  std::string Source; ///< Inline program text (empty if File is set).
+  std::string File;   ///< Path to read instead (empty if Source is set).
+  PipelineOptions Opts;
+};
+
+/// Decodes one JSON line into \p Req. On malformed input returns false
+/// and sets \p Error; \p DefaultId is used when the line has no "id".
+bool parseServiceRequest(const std::string &Line,
+                         const std::string &DefaultId, ServiceRequest &Req,
+                         std::string &Error);
+
+/// Server configuration.
+struct ServiceConfig {
+  /// Worker threads; 0 runs jobs inline in the caller (serial mode).
+  unsigned Workers = 0;
+  /// Result cache capacity in entries; 0 disables caching.
+  unsigned CacheCapacity = 1024;
+};
+
+/// A bounded, thread-safe, least-recently-used result cache keyed by
+/// the pipeline content hash. Values are fully rendered result payloads
+/// (strings), so a hit costs one lookup and no recompilation.
+class ResultCache {
+public:
+  explicit ResultCache(unsigned Capacity) : Capacity(Capacity) {}
+
+  /// Returns true and fills \p Payload on a hit (refreshing recency).
+  bool lookup(std::uint64_t Key, std::string &Payload);
+
+  /// Inserts \p Payload, evicting the least recently used entry beyond
+  /// capacity. Racing inserts of one key are benign (last one wins).
+  void insert(std::uint64_t Key, const std::string &Payload);
+
+  unsigned size() const;
+
+private:
+  mutable std::mutex M;
+  unsigned Capacity;
+  /// Most recent first.
+  std::list<std::pair<std::uint64_t, std::string>> Lru;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, std::string>>::iterator>
+      Index;
+};
+
+/// The batch server: decode, schedule, cache, collect, measure.
+class BatchServer {
+public:
+  explicit BatchServer(ServiceConfig Config = {});
+
+  /// Processes one batch of JSON-lines (blank lines skipped) and
+  /// returns one response line per request, in request order.
+  /// Callable repeatedly; the cache and metrics persist across calls.
+  std::vector<std::string> run(const std::vector<std::string> &Lines);
+
+  const ServiceMetrics &metrics() const { return Metrics; }
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  /// Executes one decoded request (compile or cache hit) and returns
+  /// the full response line.
+  std::string serve(const ServiceRequest &Req);
+
+  ServiceConfig Config;
+  ResultCache Cache;
+  std::mutex MetricsMutex;
+  ServiceMetrics Metrics;
+};
+
+/// Renders the deterministic result payload for a finished compilation
+/// (the cached portion of a response).
+std::string renderResultPayload(const PipelineResult &R);
+
+/// Wraps \p Payload into a full response line for request \p Id.
+std::string renderResponse(const std::string &Id, const std::string &Payload);
+
+} // namespace gnt
+
+#endif // GNT_SERVICE_BATCHSERVER_H

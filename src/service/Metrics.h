@@ -1,0 +1,180 @@
+//===- service/Metrics.h - Batch service metrics ---------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shutdown-time metrics for the batch compilation service: job and
+/// cache counters, wall-clock throughput, and latency distributions
+/// (min/mean/p50/p99) per pipeline stage and per whole job. Samples are
+/// recorded under the server's lock and reduced only when rendered, so
+/// the hot path stays a push_back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SERVICE_METRICS_H
+#define GNT_SERVICE_METRICS_H
+
+#include "service/Pipeline.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gnt {
+
+/// A latency sample set with order-statistic reductions.
+class LatencyStats {
+public:
+  void record(double Micros) { Samples.push_back(Micros); }
+
+  bool empty() const { return Samples.empty(); }
+  size_t count() const { return Samples.size(); }
+
+  double min() const {
+    return Samples.empty()
+               ? 0
+               : *std::min_element(Samples.begin(), Samples.end());
+  }
+
+  double mean() const {
+    if (Samples.empty())
+      return 0;
+    double Sum = 0;
+    for (double S : Samples)
+      Sum += S;
+    return Sum / static_cast<double>(Samples.size());
+  }
+
+  /// Nearest-rank percentile; \p P in [0, 100].
+  double percentile(double P) const {
+    if (Samples.empty())
+      return 0;
+    std::vector<double> Sorted = Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    double Rank = P / 100.0 * static_cast<double>(Sorted.size() - 1);
+    size_t Idx = static_cast<size_t>(Rank + 0.5);
+    return Sorted[std::min(Idx, Sorted.size() - 1)];
+  }
+
+private:
+  std::vector<double> Samples;
+};
+
+/// Everything the service measured over one run.
+struct ServiceMetrics {
+  unsigned long long Jobs = 0;      ///< Requests processed (incl. failed).
+  unsigned long long Failed = 0;    ///< Requests whose result has errors.
+  unsigned long long CacheHits = 0;
+  unsigned long long CacheMisses = 0;
+  double WallMicros = 0; ///< Batch wall time (submit to drain).
+
+  LatencyStats JobLatency; ///< Whole-job latency (hits and misses).
+  /// Per-stage latency, misses only (hits run no stages).
+  LatencyStats StageLatency[NumPipelineStages];
+
+  double throughputJobsPerSec() const {
+    return WallMicros > 0
+               ? static_cast<double>(Jobs) / (WallMicros / 1e6)
+               : 0;
+  }
+
+  double cacheHitRate() const {
+    unsigned long long Lookups = CacheHits + CacheMisses;
+    return Lookups ? static_cast<double>(CacheHits) /
+                         static_cast<double>(Lookups)
+                   : 0;
+  }
+
+  /// Human-readable multi-line summary.
+  std::string renderText() const {
+    char Buf[256];
+    std::string R;
+    std::snprintf(Buf, sizeof(Buf),
+                  "jobs: %llu (%llu failed)  wall: %.1f ms  "
+                  "throughput: %.1f jobs/s\n",
+                  Jobs, Failed, WallMicros / 1e3, throughputJobsPerSec());
+    R += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
+                  CacheHits, CacheMisses, cacheHitRate() * 100.0);
+    R += Buf;
+    auto Line = [&R, &Buf](const char *Name, const LatencyStats &L) {
+      if (L.empty())
+        return;
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-9s min %8.1fus  mean %8.1fus  p50 %8.1fus  "
+                    "p99 %8.1fus  (n=%zu)\n",
+                    Name, L.min(), L.mean(), L.percentile(50),
+                    L.percentile(99), L.count());
+      R += Buf;
+    };
+    R += "latency:\n";
+    Line("job", JobLatency);
+    for (unsigned I = 0; I < NumPipelineStages; ++I)
+      Line(pipelineStageName(static_cast<PipelineStage>(I)),
+           StageLatency[I]);
+    return R;
+  }
+
+  /// Machine-readable rendering with the same content.
+  std::string renderJson() const {
+    JsonWriter W;
+    W.beginObject();
+    W.key("jobs").value(static_cast<long long>(Jobs));
+    W.key("failed").value(static_cast<long long>(Failed));
+    W.key("wall_micros").value(static_cast<long long>(WallMicros));
+    W.key("throughput_jobs_per_sec");
+    jsonDouble(W, throughputJobsPerSec());
+    W.key("cache");
+    W.beginObject();
+    W.key("hits").value(static_cast<long long>(CacheHits));
+    W.key("misses").value(static_cast<long long>(CacheMisses));
+    W.key("hit_rate");
+    jsonDouble(W, cacheHitRate());
+    W.endObject();
+    W.key("latency_micros");
+    W.beginObject();
+    emitLatency(W, "job", JobLatency);
+    for (unsigned I = 0; I < NumPipelineStages; ++I)
+      emitLatency(W, pipelineStageName(static_cast<PipelineStage>(I)),
+                  StageLatency[I]);
+    W.endObject();
+    W.endObject();
+    return W.str();
+  }
+
+private:
+  /// JsonWriter has no double overload (the diagnostics vocabulary is
+  /// integral); render with fixed precision so output is stable.
+  static void jsonDouble(JsonWriter &W, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    W.raw(Buf);
+  }
+
+  static void emitLatency(JsonWriter &W, const char *Name,
+                          const LatencyStats &L) {
+    if (L.empty())
+      return;
+    W.key(Name);
+    W.beginObject();
+    W.key("count").value(static_cast<long long>(L.count()));
+    W.key("min");
+    jsonDouble(W, L.min());
+    W.key("mean");
+    jsonDouble(W, L.mean());
+    W.key("p50");
+    jsonDouble(W, L.percentile(50));
+    W.key("p99");
+    jsonDouble(W, L.percentile(99));
+    W.endObject();
+  }
+};
+
+} // namespace gnt
+
+#endif // GNT_SERVICE_METRICS_H

@@ -1,0 +1,235 @@
+//===- service/Pipeline.cpp - Reusable compilation pipeline -----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Pipeline.h"
+
+#include "baseline/Baselines.h"
+#include "baseline/LazyCodeMotion.h"
+#include "cfg/CfgBuilder.h"
+#include "frontend/Parser.h"
+#include "support/Hashing.h"
+#include "support/Support.h"
+
+#include <chrono>
+
+using namespace gnt;
+
+const char *gnt::pipelineStageName(PipelineStage S) {
+  switch (S) {
+  case PipelineStage::Frontend:
+    return "frontend";
+  case PipelineStage::Cfg:
+    return "cfg";
+  case PipelineStage::Interval:
+    return "interval";
+  case PipelineStage::Solve:
+    return "solve";
+  case PipelineStage::Annotate:
+    return "annotate";
+  case PipelineStage::Audit:
+    return "audit";
+  }
+  gntUnreachable("covered switch");
+}
+
+std::string PipelineOptions::canonical() const {
+  std::string R;
+  R += "mode=";
+  R += Mode == PipelineMode::Comm ? "comm" : "pre";
+  R += ";stop=";
+  R += StopAfter == PipelineStop::AfterCfg        ? "cfg"
+       : StopAfter == PipelineStop::AfterInterval ? "interval"
+                                                  : "full";
+  R += ";baseline=" + Baseline;
+  R += ";atomic=" + itostr(Comm.Atomic);
+  R += ";owner_computes=" + itostr(Comm.OwnerComputes);
+  R += ";hoist_zero_trip=" + itostr(Comm.HoistZeroTrip);
+  R += ";reads=" + itostr(Comm.GenerateReads);
+  R += ";writes=" + itostr(Comm.GenerateWrites);
+  R += ";annotate=" + itostr(Annotate);
+  R += ";audit=" + itostr(Audit);
+  R += ";verify=" + itostr(Verify);
+  R += ";werror=" + itostr(Werror);
+  return R;
+}
+
+double PipelineResult::totalMicros() const {
+  double Sum = 0;
+  for (double M : StageMicros)
+    Sum += M;
+  return Sum;
+}
+
+namespace {
+
+/// RAII stage timer: charges wall time to one StageMicros slot and
+/// records the stage as reached.
+class StageTimer {
+public:
+  StageTimer(PipelineResult &R, PipelineStage S)
+      : R(R), Slot(static_cast<unsigned>(S)),
+        Start(std::chrono::steady_clock::now()) {
+    R.Reached = S;
+  }
+  ~StageTimer() {
+    auto End = std::chrono::steady_clock::now();
+    R.StageMicros[Slot] +=
+        std::chrono::duration<double, std::micro>(End - Start).count();
+  }
+
+private:
+  PipelineResult &R;
+  unsigned Slot;
+  std::chrono::steady_clock::time_point Start;
+};
+
+Diagnostic makeError(CheckId Check, std::string Message) {
+  Diagnostic D;
+  D.Severity = DiagSeverity::Error;
+  D.Check = Check;
+  D.Message = std::move(Message);
+  return D;
+}
+
+/// Runs the auditor on \p Run and merges the findings into \p R with a
+/// problem-name prefix ("READ: node 5: ..." style).
+void auditInto(PipelineResult &R, const GntRun &Run,
+               const std::vector<std::string> &Names, const char *Label) {
+  AuditResult A = auditGntRun(Run, Names);
+  for (Diagnostic D : A.Diags.all()) {
+    D.Message = std::string(Label) + ": " + D.Message;
+    R.Diags.add(std::move(D));
+  }
+  R.Audit.EngineSolves += A.Stats.EngineSolves;
+  R.Audit.ReferenceSweeps += A.Stats.ReferenceSweeps;
+  R.Audit.Engine.Iterations += A.Stats.Engine.Iterations;
+  R.Audit.Engine.NodeVisits += A.Stats.Engine.NodeVisits;
+  R.Audit.Engine.EdgeEvaluations += A.Stats.Engine.EdgeEvaluations;
+}
+
+} // namespace
+
+PipelineResult Pipeline::compile(const std::string &Source) const {
+  PipelineResult R;
+  R.Opts = Opts;
+
+  // Frontend.
+  {
+    StageTimer T(R, PipelineStage::Frontend);
+    ParseResult Parsed = parseProgram(Source);
+    if (!Parsed.success()) {
+      for (const std::string &E : Parsed.Errors)
+        R.Diags.add(makeError(CheckId::Parse, E));
+      return R;
+    }
+    R.Prog = std::move(Parsed.Prog);
+  }
+
+  // CFG construction + normalization.
+  {
+    StageTimer T(R, PipelineStage::Cfg);
+    CfgBuildResult CfgRes = buildCfg(R.Prog);
+    if (!CfgRes.success()) {
+      for (const std::string &E : CfgRes.Errors)
+        R.Diags.add(makeError(CheckId::Build, E));
+      return R;
+    }
+    R.G = std::move(CfgRes.G);
+  }
+  if (Opts.StopAfter == PipelineStop::AfterCfg)
+    return R;
+
+  // Interval analysis.
+  {
+    StageTimer T(R, PipelineStage::Interval);
+    auto IfgRes = IntervalFlowGraph::build(R.G);
+    if (!IfgRes.success()) {
+      for (const std::string &E : IfgRes.Errors)
+        R.Diags.add(makeError(CheckId::Build, E));
+      return R;
+    }
+    R.Ifg = std::move(*IfgRes.Ifg);
+  }
+  if (Opts.StopAfter == PipelineStop::AfterInterval)
+    return R;
+
+  // Solve: PRE, a baseline, or GIVE-N-TAKE communication.
+  if (Opts.Mode == PipelineMode::Pre) {
+    {
+      StageTimer T(R, PipelineStage::Solve);
+      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg);
+    }
+    if (Opts.Annotate) {
+      StageTimer T(R, PipelineStage::Annotate);
+      R.Annotated = R.Pre->annotate(R.Prog);
+    }
+    if (Opts.Audit || Opts.Verify) {
+      StageTimer T(R, PipelineStage::Audit);
+      if (Opts.Audit)
+        auditInto(R, R.Pre->Run, R.Pre->Exprs, "PRE");
+      if (Opts.Verify)
+        R.Diags.append(R.Pre->verify().Diags);
+    }
+  } else {
+    {
+      StageTimer T(R, PipelineStage::Solve);
+      if (Opts.Baseline == "naive")
+        R.Plan = naivePlacement(R.Prog, R.G, *R.Ifg);
+      else if (Opts.Baseline == "vectorized")
+        R.Plan = vectorizedPlacement(R.Prog, R.G, *R.Ifg);
+      else if (Opts.Baseline == "lcm")
+        R.Plan = lcmPlacement(R.Prog, R.G, *R.Ifg);
+      else if (Opts.Baseline.empty())
+        R.Plan = generateComm(R.Prog, R.G, *R.Ifg, Opts.Comm);
+      else {
+        R.Diags.add(makeError(CheckId::Engine,
+                              "unknown baseline `" + Opts.Baseline + "`"));
+        return R;
+      }
+    }
+    if (Opts.Annotate) {
+      StageTimer T(R, PipelineStage::Annotate);
+      R.Annotated = R.Plan->annotate(R.Prog);
+    }
+    if (Opts.Audit || Opts.Verify) {
+      StageTimer T(R, PipelineStage::Audit);
+      if (Opts.Audit) {
+        // Baseline plans carry no GNT dataflow runs; auditing one would
+        // be a vacuous pass, so report it as an engine error instead.
+        if (!R.Plan->ReadRun && !R.Plan->WriteRun) {
+          R.Diags.add(makeError(
+              CheckId::Engine,
+              "audit requires a GIVE-N-TAKE plan (baseline `" +
+                  Opts.Baseline + "` has no dataflow runs to audit)"));
+        } else {
+          std::vector<std::string> Names = R.Plan->Refs.Items.names();
+          if (R.Plan->ReadRun)
+            auditInto(R, *R.Plan->ReadRun, Names, "READ");
+          if (R.Plan->WriteRun)
+            auditInto(R, *R.Plan->WriteRun, Names, "WRITE");
+        }
+      }
+      if (Opts.Verify)
+        R.Diags.append(R.Plan->verify().Diags);
+    }
+  }
+
+  if (Opts.Werror)
+    R.Diags.promoteToErrors();
+  return R;
+}
+
+PipelineResult gnt::compilePipeline(const std::string &Source,
+                                    const PipelineOptions &Opts) {
+  return Pipeline(Opts).compile(Source);
+}
+
+std::uint64_t gnt::pipelineCacheKey(const std::string &Source,
+                                    const PipelineOptions &Opts) {
+  std::uint64_t H = fnv1a(Opts.canonical());
+  H = fnv1aAppend(H, std::string(1, '\0'));
+  return fnv1aAppend(H, Source);
+}

@@ -1,0 +1,175 @@
+//===- service/Pipeline.h - Reusable compilation pipeline ------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full placement pipeline behind one API: PipelineOptions in,
+/// compile(source), PipelineResult out. The pipeline owns the pass
+/// sequence — frontend parse, CFG construction and normalization,
+/// interval analysis, GIVE-N-TAKE solve (communication READ/WRITE, a
+/// baseline, or expression PRE), annotation rendering, and the optional
+/// static audit — and reports failures as structured Diagnostics
+/// instead of exiting, so the same code path serves the `gntc` command
+/// line tool, the `gntd` batch server, tests and benchmarks. Every
+/// stage is wall-clock timed; the result keeps the intermediate
+/// artifacts (AST, CFG, IFG, plan) alive for clients that want more
+/// than the rendered output (dot/IFG views, dataflow dumps, the
+/// simulator).
+///
+/// compile() is a pure function of (source, options): it touches no
+/// global state and may be called concurrently from many threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SERVICE_PIPELINE_H
+#define GNT_SERVICE_PIPELINE_H
+
+#include "analysis/Auditor.h"
+#include "analysis/Diagnostics.h"
+#include "comm/CommGen.h"
+#include "interval/IntervalFlowGraph.h"
+#include "pre/ExprPre.h"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gnt {
+
+/// Which placement problem the pipeline solves.
+enum class PipelineMode {
+  Comm, ///< READ/WRITE communication placement (default).
+  Pre,  ///< Expression PRE (the paper's Section 6 client).
+};
+
+/// How far the pipeline runs. Early stops serve clients that only want
+/// a structural view (e.g. `gntc --dot` on a graph the interval
+/// analysis would reject).
+enum class PipelineStop {
+  AfterCfg,      ///< Stop once the CFG is built.
+  AfterInterval, ///< Stop once the interval flow graph is built.
+  Full,          ///< Run everything requested (default).
+};
+
+/// The timed stages of a compilation, in execution order.
+enum class PipelineStage : unsigned {
+  Frontend, ///< Lex + parse.
+  Cfg,      ///< CFG construction and normalization.
+  Interval, ///< Interval flow graph construction.
+  Solve,    ///< Reference analysis + GIVE-N-TAKE solve (or baseline/PRE).
+  Annotate, ///< Rendering the annotated program.
+  Audit,    ///< Static audit / verification.
+};
+inline constexpr unsigned NumPipelineStages = 6;
+
+/// "frontend", "cfg", ... stable lowercase stage names (metrics keys).
+const char *pipelineStageName(PipelineStage S);
+
+/// Everything that configures a compilation. Add new knobs here and to
+/// canonical() — the canonical string is the options half of the
+/// service cache key, so two option sets compare equal iff their
+/// canonical strings do.
+struct PipelineOptions {
+  PipelineMode Mode = PipelineMode::Comm;
+  PipelineStop StopAfter = PipelineStop::Full;
+
+  /// Placement engine: empty for GIVE-N-TAKE, or one of the baselines
+  /// ("naive", "vectorized", "lcm"). Unknown names fail compile() with
+  /// an Engine diagnostic. Ignored in PRE mode.
+  std::string Baseline;
+
+  /// Communication generation knobs (Comm mode only).
+  CommOptions Comm;
+
+  /// Render the annotated program into PipelineResult::Annotated.
+  bool Annotate = true;
+
+  /// Run the full static audit and merge its findings (prefixed with
+  /// the problem name: "READ: ", "WRITE: ", "PRE: ").
+  bool Audit = false;
+
+  /// Run the independent C1/C3/O1 verifier and merge its findings.
+  bool Verify = false;
+
+  /// Promote warnings and notes to errors at the end of the run.
+  bool Werror = false;
+
+  /// Stable, human-readable key=value rendering of every knob.
+  std::string canonical() const;
+};
+
+/// Outcome of one compilation. Movable, not copyable (owns the AST).
+/// Artifacts are populated up to the stage where compilation stopped or
+/// failed; Diags carries everything from parse errors to audit notes.
+struct PipelineResult {
+  /// Options the run was compiled with.
+  PipelineOptions Opts;
+
+  Program Prog;
+  Cfg G;
+  std::optional<IntervalFlowGraph> Ifg;
+
+  /// Comm mode artifacts (GIVE-N-TAKE or baseline plan).
+  std::optional<CommPlan> Plan;
+
+  /// PRE mode artifacts.
+  std::optional<ExprPreResult> Pre;
+
+  /// Rendered annotated program (when Opts.Annotate and the solve
+  /// stage completed).
+  std::string Annotated;
+
+  /// Parse/build errors, verifier findings, audit findings.
+  DiagnosticSet Diags;
+
+  /// Audit work counters (zero when the audit did not run).
+  AuditStats Audit;
+
+  /// Wall-clock microseconds per stage; 0 for stages that did not run.
+  std::array<double, NumPipelineStages> StageMicros{};
+
+  /// Last stage that ran (even partially).
+  PipelineStage Reached = PipelineStage::Frontend;
+
+  bool ok() const { return !Diags.hasErrors(); }
+
+  double stageMicros(PipelineStage S) const {
+    return StageMicros[static_cast<unsigned>(S)];
+  }
+
+  /// Sum over all stages.
+  double totalMicros() const;
+};
+
+/// The pipeline: a fixed option set applied to many sources. Stateless
+/// apart from the options; compile() is const and thread-safe.
+class Pipeline {
+public:
+  explicit Pipeline(PipelineOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  const PipelineOptions &options() const { return Opts; }
+
+  /// Compiles \p Source through every configured stage. Never exits or
+  /// throws on bad input: check PipelineResult::ok() and Diags.
+  PipelineResult compile(const std::string &Source) const;
+
+private:
+  PipelineOptions Opts;
+};
+
+/// Convenience one-shot form.
+PipelineResult compilePipeline(const std::string &Source,
+                               const PipelineOptions &Opts = {});
+
+/// Content hash of a compilation request: FNV-1a over the canonicalized
+/// options and the source text. This is the service cache key — equal
+/// keys mean "same source compiled the same way".
+std::uint64_t pipelineCacheKey(const std::string &Source,
+                               const PipelineOptions &Opts);
+
+} // namespace gnt
+
+#endif // GNT_SERVICE_PIPELINE_H

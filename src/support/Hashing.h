@@ -1,0 +1,54 @@
+//===- support/Hashing.h - Content hashing helpers -------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 64-bit FNV-1a hashing, used by the compilation service to key its
+/// result cache on (canonicalized options, source) content. FNV-1a is
+/// not cryptographic; it is small, dependency-free, byte-order stable
+/// and good enough for cache keys whose collisions only cost a wrong
+/// cache hit on adversarial input we do not serve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_HASHING_H
+#define GNT_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gnt {
+
+inline constexpr std::uint64_t FnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t FnvPrime = 0x100000001b3ull;
+
+/// Folds the bytes of \p S into \p H (FNV-1a step). Chain calls to hash
+/// multi-part content without concatenating; include an explicit
+/// separator byte between parts to keep ("ab","c") != ("a","bc").
+inline std::uint64_t fnv1aAppend(std::uint64_t H, const std::string &S) {
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// 64-bit FNV-1a of \p S.
+inline std::uint64_t fnv1a(const std::string &S) {
+  return fnv1aAppend(FnvOffsetBasis, S);
+}
+
+/// Fixed-width lowercase hex rendering of a hash, for logs and JSON.
+inline std::string hashToHex(std::uint64_t H) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return std::string(Buf);
+}
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_HASHING_H

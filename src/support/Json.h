@@ -109,6 +109,14 @@ public:
     OS << (V ? "true" : "false");
     return *this;
   }
+  /// Emits \p Token verbatim as a value: a pre-rendered number (doubles
+  /// have no value() overload) or an embedded pre-rendered document.
+  /// The caller guarantees the token is valid JSON.
+  JsonWriter &raw(const std::string &Token) {
+    sep();
+    OS << Token;
+    return *this;
+  }
 
 private:
   void sep() {

@@ -1,0 +1,107 @@
+//===- support/ThreadPool.h - Fixed-size worker thread pool ----*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for the batch compilation service.
+/// Jobs are opaque closures executed FIFO by whichever worker frees up
+/// first; wait() blocks until every submitted job has finished, so a
+/// batch can be fanned out and then joined without tearing the pool
+/// down. With zero workers the pool degrades to inline execution in the
+/// submitting thread, which keeps single-threaded runs trivially
+/// deterministic and easy to debug.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_THREADPOOL_H
+#define GNT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnt {
+
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads; 0 means run jobs inline in submit().
+  explicit ThreadPool(unsigned Workers) {
+    Threads.reserve(Workers);
+    for (unsigned I = 0; I < Workers; ++I)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    WorkReady.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p Job. Runs it inline when the pool has no workers.
+  void submit(std::function<void()> Job) {
+    if (Threads.empty()) {
+      Job();
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      Queue.push_back(std::move(Job));
+      ++Pending;
+    }
+    WorkReady.notify_one();
+  }
+
+  /// Blocks until every job submitted so far has finished executing.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    Idle.wait(Lock, [this] { return Pending == 0; });
+  }
+
+private:
+  void workerLoop() {
+    while (true) {
+      std::function<void()> Job;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        Job = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Job();
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        if (--Pending == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WorkReady;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  unsigned Pending = 0;
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_THREADPOOL_H

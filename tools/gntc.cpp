@@ -9,20 +9,17 @@
 //
 //   gntc [options] file.fm        (or `-` for stdin)
 //
+// The heavy lifting lives in the service Pipeline (service/Pipeline.h),
+// which gntc shares with the gntd batch server; this file is argument
+// parsing plus output formatting over the PipelineResult artifacts.
+//
 // The option table lives in usage() below and must stay in sync with
 // parseArgs(); ToolCliTest checks the obvious drift cases.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Auditor.h"
-#include "baseline/Baselines.h"
-#include "baseline/LazyCodeMotion.h"
-#include "cfg/CfgBuilder.h"
-#include "comm/CommGen.h"
 #include "dataflow/Dump.h"
-#include "frontend/Parser.h"
-#include "interval/IntervalFlowGraph.h"
-#include "pre/ExprPre.h"
+#include "service/Pipeline.h"
 #include "sim/TraceSimulator.h"
 
 #include <cstdio>
@@ -38,19 +35,13 @@ namespace {
 
 struct Options {
   std::string File;
-  bool Annotate = true;
-  bool Pre = false;
   bool Dot = false;
   bool Ifg = false;
   bool Stats = false;
-  bool Verify = false;
-  bool Audit = false;
   bool AuditJson = false;
-  bool Werror = false;
   bool DumpVars = false;
   long long SimulateN = -1;
-  std::string Baseline;
-  CommOptions Comm;
+  PipelineOptions Pipe;
 };
 
 /// Keep this table exhaustive: every flag parseArgs() accepts is listed
@@ -92,36 +83,38 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--annotate") {
-      O.Annotate = true;
+      O.Pipe.Annotate = true;
     } else if (A == "--pre") {
-      O.Pre = true;
+      O.Pipe.Mode = PipelineMode::Pre;
     } else if (A == "--dot") {
       O.Dot = true;
-      O.Annotate = false;
+      O.Pipe.Annotate = false;
+      O.Pipe.StopAfter = PipelineStop::AfterCfg;
     } else if (A == "--ifg") {
       O.Ifg = true;
-      O.Annotate = false;
+      O.Pipe.Annotate = false;
+      O.Pipe.StopAfter = PipelineStop::AfterInterval;
     } else if (A == "--stats") {
       O.Stats = true;
     } else if (A == "--verify") {
-      O.Verify = true;
+      O.Pipe.Verify = true;
     } else if (A == "--audit") {
-      O.Audit = true;
-      O.Annotate = false;
+      O.Pipe.Audit = true;
+      O.Pipe.Annotate = false;
     } else if (A == "--audit-json") {
-      O.Audit = true;
+      O.Pipe.Audit = true;
       O.AuditJson = true;
-      O.Annotate = false;
+      O.Pipe.Annotate = false;
     } else if (A == "--werror") {
-      O.Werror = true;
+      O.Pipe.Werror = true;
     } else if (A == "--dump-vars") {
       O.DumpVars = true;
     } else if (A == "--atomic") {
-      O.Comm.Atomic = true;
+      O.Pipe.Comm.Atomic = true;
     } else if (A == "--owner-computes") {
-      O.Comm.OwnerComputes = true;
+      O.Pipe.Comm.OwnerComputes = true;
     } else if (A == "--no-hoist") {
-      O.Comm.HoistZeroTrip = false;
+      O.Pipe.Comm.HoistZeroTrip = false;
     } else if (A == "--simulate") {
       if (++I == Argc) {
         std::fprintf(stderr, "gntc: --simulate needs a value\n");
@@ -140,7 +133,7 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
         std::fprintf(stderr, "gntc: --baseline needs a value\n");
         return false;
       }
-      O.Baseline = Argv[I];
+      O.Pipe.Baseline = Argv[I];
     } else if (A == "--help") {
       usage(stdout);
       Exit = 0;
@@ -175,61 +168,11 @@ std::string readInput(const std::string &File) {
   return SS.str();
 }
 
-/// Prints verifier diagnostics (errors after any --werror promotion) and
-/// converts the outcome to an exit code.
-int finishVerify(GntVerifyResult V, const Options &O) {
-  if (O.Werror)
-    V.Diags.promoteToErrors();
-  for (const Diagnostic &D : V.Diags.all())
-    if (D.Severity == DiagSeverity::Error)
-      std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
-  return V.ok() ? 0 : 1;
+/// True for diagnostics produced before any placement ran (parse and
+/// CFG/interval construction failures).
+bool isFrontendDiag(const Diagnostic &D) {
+  return D.Check == CheckId::Parse || D.Check == CheckId::Build;
 }
-
-/// Audits every solver run in sight, merges the findings, renders them
-/// (text on stderr, or JSON on stdout with --audit-json) and converts
-/// the outcome to an exit code.
-class AuditDriver {
-public:
-  explicit AuditDriver(const Options &O) : O(O) {}
-
-  void add(const GntRun &Run, const std::vector<std::string> &Names,
-           const char *Label) {
-    AuditResult A = auditGntRun(Run, Names);
-    for (Diagnostic D : A.Diags.all()) {
-      // Qualify findings with the problem they belong to.
-      D.Message = std::string(Label) + ": " + D.Message;
-      All.add(std::move(D));
-    }
-    Solves += A.Stats.EngineSolves;
-    Sweeps += A.Stats.ReferenceSweeps;
-  }
-
-  int finish() {
-    if (O.Werror)
-      All.promoteToErrors();
-    if (O.AuditJson) {
-      std::fputs(All.renderJson().c_str(), stdout);
-      std::fputc('\n', stdout);
-    } else {
-      for (const Diagnostic &D : All.all())
-        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
-      std::fprintf(stderr,
-                   "gntc: audit: %u errors, %u warnings, %u notes "
-                   "(%u dataflow solves, %u reference sweeps)\n",
-                   All.count(DiagSeverity::Error),
-                   All.count(DiagSeverity::Warning),
-                   All.count(DiagSeverity::Note), Solves, Sweeps);
-    }
-    return All.hasErrors() ? 1 : 0;
-  }
-
-private:
-  const Options &O;
-  DiagnosticSet All;
-  unsigned Solves = 0;
-  unsigned Sweeps = 0;
-};
 
 } // namespace
 
@@ -242,121 +185,114 @@ int main(int Argc, char **Argv) {
     return Exit;
   }
 
-  std::string Source = readInput(O.File);
-  ParseResult Parsed = parseProgram(Source);
-  if (!Parsed.success()) {
-    for (const std::string &E : Parsed.Errors)
-      std::fprintf(stderr, "gntc: %s\n", E.c_str());
-    return 1;
+  // Reject option combinations the pipeline would only discover late,
+  // with the tool's historical exit code 2.
+  if (!O.Pipe.Baseline.empty() && O.Pipe.Baseline != "naive" &&
+      O.Pipe.Baseline != "vectorized" && O.Pipe.Baseline != "lcm") {
+    std::fprintf(stderr, "gntc: unknown baseline %s\n",
+                 O.Pipe.Baseline.c_str());
+    return 2;
   }
-  CfgBuildResult CfgRes = buildCfg(Parsed.Prog);
-  if (!CfgRes.success()) {
-    for (const std::string &E : CfgRes.Errors)
-      std::fprintf(stderr, "gntc: %s\n", E.c_str());
-    return 1;
-  }
-  if (O.Dot) {
-    std::fputs(CfgRes.G.dot().c_str(), stdout);
-    return 0;
-  }
-  auto IfgRes = IntervalFlowGraph::build(CfgRes.G);
-  if (!IfgRes.success()) {
-    for (const std::string &E : IfgRes.Errors)
-      std::fprintf(stderr, "gntc: %s\n", E.c_str());
-    return 1;
-  }
-  if (O.Ifg) {
-    std::fputs(IfgRes.Ifg->describe(CfgRes.G).c_str(), stdout);
-    return 0;
-  }
-
-  if (O.Pre) {
-    ExprPreResult Pre = runExprPre(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
-    if (O.Audit) {
-      AuditDriver Audit(O);
-      Audit.add(Pre.Run, Pre.Exprs, "PRE");
-      return Audit.finish();
-    }
-    std::fputs(Pre.annotate(Parsed.Prog).c_str(), stdout);
-    if (O.Stats)
-      std::printf("! %zu insertions, %zu redundant occurrences\n",
-                  Pre.Insertions.size(), Pre.Redundant.size());
-    if (O.Verify)
-      return finishVerify(Pre.verify(), O);
-    return 0;
-  }
-
-  CommPlan Plan;
-  if (O.Baseline == "naive")
-    Plan = naivePlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
-  else if (O.Baseline == "vectorized")
-    Plan = vectorizedPlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
-  else if (O.Baseline == "lcm")
-    Plan = lcmPlacement(Parsed.Prog, CfgRes.G, *IfgRes.Ifg);
-  else if (O.Baseline.empty())
-    Plan = generateComm(Parsed.Prog, CfgRes.G, *IfgRes.Ifg, O.Comm);
-  else {
-    std::fprintf(stderr, "gntc: unknown baseline %s\n", O.Baseline.c_str());
+  if (O.Pipe.Audit && !O.Pipe.Baseline.empty() &&
+      O.Pipe.Mode == PipelineMode::Comm) {
+    // Baseline plans carry no GNT dataflow runs, so there is nothing for
+    // the auditor to re-check; reject instead of printing a vacuous pass.
+    std::fprintf(stderr,
+                 "gntc: --audit requires a GIVE-N-TAKE plan "
+                 "(baseline `%s` has no dataflow runs to audit)\n",
+                 O.Pipe.Baseline.c_str());
     return 2;
   }
 
-  if (O.Audit) {
-    // Baseline plans carry no GNT dataflow runs, so there is nothing for
-    // the auditor to re-check; reject instead of printing a vacuous pass.
-    if (!Plan.ReadRun && !Plan.WriteRun) {
-      std::fprintf(stderr,
-                   "gntc: --audit requires a GIVE-N-TAKE plan "
-                   "(baseline `%s` has no dataflow runs to audit)\n",
-                   O.Baseline.c_str());
-      return 2;
-    }
-    AuditDriver Audit(O);
-    std::vector<std::string> Names = Plan.Refs.Items.names();
-    if (Plan.ReadRun)
-      Audit.add(*Plan.ReadRun, Names, "READ");
-    if (Plan.WriteRun)
-      Audit.add(*Plan.WriteRun, Names, "WRITE");
-    return Audit.finish();
-  }
+  std::string Source = readInput(O.File);
+  PipelineResult R = Pipeline(O.Pipe).compile(Source);
 
-  if (O.Annotate)
-    std::fputs(Plan.annotate(Parsed.Prog).c_str(), stdout);
-
-  if (O.DumpVars) {
-    std::vector<std::string> Names = Plan.Refs.Items.names();
-    if (Plan.ReadRun) {
-      std::printf("\n--- READ problem ---\n");
-      std::fputs(dumpGntRun(*Plan.ReadRun, CfgRes.G, Names).c_str(), stdout);
-    }
-    if (Plan.WriteRun) {
-      std::printf("\n--- WRITE problem ---\n");
-      std::fputs(dumpGntRun(*Plan.WriteRun, CfgRes.G, Names).c_str(),
-                 stdout);
-    }
-  }
-
-  if (O.Stats) {
-    auto Counts = Plan.staticCounts();
-    std::printf("! static placements:");
-    for (const auto &[Kind, Count] : Counts)
-      std::printf(" %s=%u", commOpName(Kind), Count);
-    std::printf("\n");
-  }
-
-  if (O.SimulateN >= 0) {
-    SimConfig Config;
-    Config.Params["n"] = O.SimulateN;
-    SimStats S = simulate(Parsed.Prog, Plan, Config);
-    std::printf("! simulate n=%lld: messages=%llu volume=%llu exposed=%.0f "
-                "work=%.0f wasted=%llu redundant=%llu %s\n",
-                O.SimulateN, S.Messages, S.Volume, S.ExposedLatency, S.Work,
-                S.Wasted, S.Redundant,
-                S.ok() ? "ok" : S.Errors.front().c_str());
-    if (!S.ok())
+  // Parse or CFG/interval construction failures end the run.
+  if (!R.ok()) {
+    bool Frontend = false;
+    for (const Diagnostic &D : R.Diags.all())
+      if (isFrontendDiag(D)) {
+        std::fprintf(stderr, "gntc: %s\n", D.Message.c_str());
+        Frontend = true;
+      }
+    if (Frontend)
       return 1;
   }
 
-  if (O.Verify)
-    return finishVerify(Plan.verify(), O);
+  if (O.Dot) {
+    std::fputs(R.G.dot().c_str(), stdout);
+    return 0;
+  }
+  if (O.Ifg) {
+    std::fputs(R.Ifg->describe(R.G).c_str(), stdout);
+    return 0;
+  }
+
+  if (O.Pipe.Audit) {
+    if (O.AuditJson) {
+      std::fputs(R.Diags.renderJson().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      for (const Diagnostic &D : R.Diags.all())
+        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
+      std::fprintf(stderr,
+                   "gntc: audit: %u errors, %u warnings, %u notes "
+                   "(%u dataflow solves, %u reference sweeps)\n",
+                   R.Diags.count(DiagSeverity::Error),
+                   R.Diags.count(DiagSeverity::Warning),
+                   R.Diags.count(DiagSeverity::Note), R.Audit.EngineSolves,
+                   R.Audit.ReferenceSweeps);
+    }
+    return R.ok() ? 0 : 1;
+  }
+
+  if (O.Pipe.Annotate)
+    std::fputs(R.Annotated.c_str(), stdout);
+
+  if (O.Pipe.Mode == PipelineMode::Pre) {
+    if (O.Stats)
+      std::printf("! %zu insertions, %zu redundant occurrences\n",
+                  R.Pre->Insertions.size(), R.Pre->Redundant.size());
+  } else {
+    if (O.DumpVars) {
+      std::vector<std::string> Names = R.Plan->Refs.Items.names();
+      if (R.Plan->ReadRun) {
+        std::printf("\n--- READ problem ---\n");
+        std::fputs(dumpGntRun(*R.Plan->ReadRun, R.G, Names).c_str(), stdout);
+      }
+      if (R.Plan->WriteRun) {
+        std::printf("\n--- WRITE problem ---\n");
+        std::fputs(dumpGntRun(*R.Plan->WriteRun, R.G, Names).c_str(), stdout);
+      }
+    }
+
+    if (O.Stats) {
+      auto Counts = R.Plan->staticCounts();
+      std::printf("! static placements:");
+      for (const auto &[Kind, Count] : Counts)
+        std::printf(" %s=%u", commOpName(Kind), Count);
+      std::printf("\n");
+    }
+
+    if (O.SimulateN >= 0) {
+      SimConfig Config;
+      Config.Params["n"] = O.SimulateN;
+      SimStats S = simulate(R.Prog, *R.Plan, Config);
+      std::printf("! simulate n=%lld: messages=%llu volume=%llu exposed=%.0f "
+                  "work=%.0f wasted=%llu redundant=%llu %s\n",
+                  O.SimulateN, S.Messages, S.Volume, S.ExposedLatency, S.Work,
+                  S.Wasted, S.Redundant,
+                  S.ok() ? "ok" : S.Errors.front().c_str());
+      if (!S.ok())
+        return 1;
+    }
+  }
+
+  if (O.Pipe.Verify) {
+    for (const Diagnostic &D : R.Diags.all())
+      if (D.Severity == DiagSeverity::Error)
+        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
+    return R.ok() ? 0 : 1;
+  }
   return 0;
 }

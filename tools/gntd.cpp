@@ -1,0 +1,191 @@
+//===- tools/gntd.cpp - GIVE-N-TAKE batch compilation server ----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// gntd: compile a batch of FMini programs through the placement
+// pipeline. Requests are JSON-lines (one object per line, see
+// service/BatchServer.h for the schema) read from a file or stdin;
+// responses are JSON-lines on stdout, one per request, in request
+// order. Jobs are scheduled on a worker thread pool and repeat
+// requests are served from a content-hash result cache. Failures are
+// isolated per job: a program that does not parse or fails its audit
+// produces a diagnostic payload, never a dead batch.
+//
+//   gntd [options] [requests.jsonl]     (default/`-`: stdin)
+//
+// On shutdown the service metrics (jobs, throughput, cache hit rate,
+// per-stage latency min/mean/p50/p99) are printed as text on stderr
+// and, with --metrics-json, as JSON to a file (`-` for stdout, after
+// the responses).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/BatchServer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gnt;
+
+namespace {
+
+struct Options {
+  std::string File = "-";
+  unsigned Workers = 0; // 0: pick hardware concurrency.
+  bool WorkersSet = false;
+  unsigned CacheSize = 1024;
+  std::string MetricsJson;
+  bool Quiet = false;
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: gntd [options] [REQUESTS.jsonl]   (default `-` for stdin)\n"
+      "\n"
+      "Batch compilation server: one JSON request per input line, one\n"
+      "JSON response per line on stdout, in request order.\n"
+      "\n"
+      "  --workers N       worker threads (default: hardware concurrency;\n"
+      "                    0 compiles serially in the main thread)\n"
+      "  --cache-size N    result cache capacity in entries (default 1024;\n"
+      "                    0 disables caching)\n"
+      "  --metrics-json F  write service metrics as JSON to file F\n"
+      "                    (`-` appends them to stdout after the responses)\n"
+      "  --quiet           suppress the text metrics summary on stderr\n"
+      "  --help            print this help\n");
+}
+
+bool parseUnsigned(const char *Arg, const char *Flag, unsigned &Out) {
+  char *End = nullptr;
+  long long V = std::strtoll(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V < 0 || V > 1'000'000) {
+    std::fprintf(stderr, "gntd: %s needs a non-negative integer, got %s\n",
+                 Flag, Arg);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
+  Exit = 2;
+  bool SawFile = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--workers") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntd: --workers needs a value\n");
+        return false;
+      }
+      if (!parseUnsigned(Argv[I], "--workers", O.Workers))
+        return false;
+      O.WorkersSet = true;
+    } else if (A == "--cache-size") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntd: --cache-size needs a value\n");
+        return false;
+      }
+      if (!parseUnsigned(Argv[I], "--cache-size", O.CacheSize))
+        return false;
+    } else if (A == "--metrics-json") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntd: --metrics-json needs a value\n");
+        return false;
+      }
+      O.MetricsJson = Argv[I];
+    } else if (A == "--quiet") {
+      O.Quiet = true;
+    } else if (A == "--help") {
+      usage(stdout);
+      Exit = 0;
+      return false;
+    } else if (!A.empty() && A[0] == '-' && A != "-") {
+      std::fprintf(stderr, "gntd: unknown option %s\n", A.c_str());
+      return false;
+    } else {
+      if (SawFile) {
+        std::fprintf(stderr, "gntd: more than one input file\n");
+        return false;
+      }
+      O.File = A;
+      SawFile = true;
+    }
+  }
+  return true;
+}
+
+bool readLines(const std::string &File, std::vector<std::string> &Lines) {
+  if (File == "-") {
+    std::string Line;
+    while (std::getline(std::cin, Line))
+      Lines.push_back(Line);
+    return true;
+  }
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "gntd: cannot open %s\n", File.c_str());
+    return false;
+  }
+  std::string Line;
+  while (std::getline(In, Line))
+    Lines.push_back(Line);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  int Exit = 2;
+  if (!parseArgs(Argc, Argv, O, Exit)) {
+    if (Exit != 0)
+      usage(stderr);
+    return Exit;
+  }
+  if (!O.WorkersSet) {
+    unsigned HW = std::thread::hardware_concurrency();
+    O.Workers = HW ? HW : 1;
+  }
+
+  std::vector<std::string> Lines;
+  if (!readLines(O.File, Lines))
+    return 1;
+
+  ServiceConfig Config;
+  Config.Workers = O.Workers;
+  Config.CacheCapacity = O.CacheSize;
+  BatchServer Server(Config);
+
+  std::vector<std::string> Responses = Server.run(Lines);
+  for (const std::string &R : Responses) {
+    std::fputs(R.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+
+  const ServiceMetrics &M = Server.metrics();
+  if (!O.Quiet)
+    std::fputs(M.renderText().c_str(), stderr);
+  if (!O.MetricsJson.empty()) {
+    if (O.MetricsJson == "-") {
+      std::fputs(M.renderJson().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::ofstream Out(O.MetricsJson);
+      if (!Out) {
+        std::fprintf(stderr, "gntd: cannot write %s\n", O.MetricsJson.c_str());
+        return 1;
+      }
+      Out << M.renderJson() << "\n";
+    }
+  }
+  return 0;
+}
