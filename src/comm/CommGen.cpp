@@ -160,7 +160,7 @@ AnchorKey exitAnchor(const CfgNode &Node) {
 
 CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                            const IntervalFlowGraph &Ifg,
-                           const CommOptions &Opts) {
+                           const CommOptions &Opts, unsigned SolverShards) {
   CommPlan Plan;
   Plan.Opts = Opts;
   Plan.Refs = analyzeReferences(P, G);
@@ -168,9 +168,9 @@ CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                     Plan.WriteProblem);
 
   if (Opts.GenerateReads)
-    Plan.ReadRun = runGiveNTake(Ifg, Plan.ReadProblem);
+    Plan.ReadRun = runGiveNTake(Ifg, Plan.ReadProblem, SolverShards);
   if (Opts.GenerateWrites && !Opts.OwnerComputes)
-    Plan.WriteRun = runGiveNTake(Ifg, Plan.WriteProblem);
+    Plan.WriteRun = runGiveNTake(Ifg, Plan.WriteProblem, SolverShards);
 
   // Assemble the anchored operation lists. Two phases: at any one program
   // point every write-back precedes every read (the owners must be

@@ -20,15 +20,49 @@
 /// computed, so one evaluation per node per equation reaches the fixed
 /// point (the framework is "fast" in the Graham/Wegman sense).
 ///
+/// Two evaluators implement the schedule:
+///
+///  - the arena solver (solveGiveNTake): all 20 dataflow variables live
+///    in one flat DataflowMatrix allocation. Each schedule step runs as
+///    a few vectorizable word sweeps per node — edge-list gathers into
+///    scratch rows, then one fixed-arity fused loop — with no
+///    allocation during evaluation. The result's BitVectors borrow the
+///    arena rows outright (GntResult::Arena keeps the storage alive),
+///    so exporting costs nothing.
+///  - the classic solver (solveGiveNTakeClassic): the original
+///    one-BitVector-temporary-per-term evaluator, kept as the
+///    differential oracle and the bench baseline.
+///
+/// Both walk the nodes in the same order and read the same stored values
+/// at every step, so their results are bit-for-bit identical; the
+/// property battery enforces this.
+///
+/// Because every equation is a bitwise AND/OR/ANDNOT over item sets —
+/// no operation crosses bit lanes — any word range of the universe can
+/// be solved independently of the rest. solveGiveNTakeSharded() exploits
+/// that for parallelism: workers solve disjoint word ranges of one
+/// shared arena, with no slicing or stitching. Every word is computed
+/// by the same sweep over the same inputs regardless of the partition,
+/// so any shard count is byte-identical to the serial solve.
+///
 //===----------------------------------------------------------------------===//
 
 #include "dataflow/GiveNTake.h"
 
 #include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
 
+#include "support/DataflowMatrix.h"
 #include "support/Support.h"
+#include "support/ThreadPool.h"
 
 using namespace gnt;
+
+//===----------------------------------------------------------------------===//
+// Classic evaluator (pre-arena differential oracle and bench baseline)
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -102,8 +136,8 @@ BitVector meetPreds(const IntervalFlowGraph &Ifg,
 
 } // namespace
 
-GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
-                              const GntProblem &P) {
+GntResult gnt::solveGiveNTakeClassic(const IntervalFlowGraph &Ifg,
+                                     const GntProblem &P) {
   const unsigned N = Ifg.size();
   const unsigned U = P.UniverseSize;
   assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
@@ -328,8 +362,604 @@ GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
   return R;
 }
 
-GntRun gnt::runGiveNTake(const IntervalFlowGraph &Forward,
-                         const GntProblem &P) {
+//===----------------------------------------------------------------------===//
+// Arena evaluator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using Word = DataflowMatrix::Word;
+
+/// Arena row layout: 20 fields x N nodes, field-major so one field's
+/// rows are contiguous (the export walks field by field).
+enum ArenaField : unsigned {
+  FSteal,
+  FGive,
+  FBlock,
+  FTakenOut,
+  FTake,
+  FTakenIn,
+  FBlockLoc,
+  FTakeLoc,
+  FGiveLoc,
+  FStealLoc,
+  FEagerGivenIn,
+  FEagerGiven,
+  FEagerGivenOut,
+  FEagerResIn,
+  FEagerResOut,
+  FLazyGivenIn,
+  FLazyGiven,
+  FLazyGivenOut,
+  FLazyResIn,
+  FLazyResOut,
+  NumArenaFields
+};
+
+/// Reusable per-node scratch: row pointers of one edge-set x variable
+/// combination, gathered once per node so the word sweeps below stay
+/// free of edge-type dispatch.
+using RowList = std::vector<const Word *>;
+
+//===----------------------------------------------------------------------===//
+// Row sweeps
+//
+// Every primitive streams whole rows so the compiler vectorizes them.
+// The __restrict claims are justified by construction: a destination is
+// always the row of one (field, node) pair, and every source is a row
+// of a different field or a different node (the normalized IFG has no
+// self edges), or init storage outside the arena. Several *sources*
+// may alias each other (absent operands all point at one shared zero
+// row), which restrict permits as long as nothing writes through them.
+//===----------------------------------------------------------------------===//
+
+inline void rowZero(Word *D, unsigned W) {
+  std::memset(D, 0, W * sizeof(Word));
+}
+
+inline void rowCopy(Word *__restrict D, const Word *__restrict A,
+                    unsigned W) {
+  std::memcpy(D, A, W * sizeof(Word));
+}
+
+inline void rowOr(Word *__restrict D, const Word *__restrict A, unsigned W) {
+  for (unsigned K = 0; K != W; ++K)
+    D[K] |= A[K];
+}
+
+inline void rowAnd(Word *__restrict D, const Word *__restrict A, unsigned W) {
+  for (unsigned K = 0; K != W; ++K)
+    D[K] &= A[K];
+}
+
+/// D |= A - B.
+inline void rowOrAndNot(Word *__restrict D, const Word *__restrict A,
+                        const Word *__restrict B, unsigned W) {
+  for (unsigned K = 0; K != W; ++K)
+    D[K] |= A[K] & ~B[K];
+}
+
+/// D = union of the rows in \p L (bottom when empty).
+inline void gatherUnion(Word *D, const RowList &L, unsigned W) {
+  if (L.empty()) {
+    rowZero(D, W);
+    return;
+  }
+  rowCopy(D, L[0], W);
+  for (std::size_t I = 1, E = L.size(); I != E; ++I)
+    rowOr(D, L[I], W);
+}
+
+/// D = intersection of the rows in \p L (bottom when empty, as Section 4
+/// specifies for empty successor sets).
+inline void gatherMeet(Word *D, const RowList &L, unsigned W) {
+  if (L.empty()) {
+    rowZero(D, W);
+    return;
+  }
+  rowCopy(D, L[0], W);
+  for (std::size_t I = 1, E = L.size(); I != E; ++I)
+    rowAnd(D, L[I], W);
+}
+
+/// Finishes Eq. 9 in place: D = (D u Give u Take) - Steal, where D
+/// arrives holding the predecessor meet.
+inline void fuseGiveLoc(unsigned W, Word *__restrict D,
+                        const Word *__restrict Give,
+                        const Word *__restrict Take,
+                        const Word *__restrict Steal) {
+  for (unsigned K = 0; K != W; ++K)
+    D[K] = (D[K] | Give[K] | Take[K]) & ~Steal[K];
+}
+
+/// The fused S1 step (Eq. 1-3 and 5-8; Eq. 4 is gathered into TakenOut
+/// beforehand). All operands are distinct rows; absent ones point at
+/// the shared zero row, and \p HoistMask is all-ones unless the node is
+/// a NoHoist header, keeping the loop branch-free.
+inline void fuseS1(unsigned W, const Word *__restrict StealI,
+                   const Word *__restrict GiveI,
+                   const Word *__restrict TakeI,
+                   const Word *__restrict SumSteal,
+                   const Word *__restrict SumGive,
+                   const Word *__restrict EntryBlock,
+                   const Word *__restrict EntryTaken,
+                   const Word *__restrict EntryTake,
+                   const Word *__restrict FwdBlock,
+                   const Word *__restrict EfTake, Word HoistMask,
+                   const Word *__restrict TakenOut, Word *__restrict RSteal,
+                   Word *__restrict RGive, Word *__restrict RBlock,
+                   Word *__restrict RTake, Word *__restrict RTakenIn,
+                   Word *__restrict RBlockLoc, Word *__restrict RTakeLoc) {
+  for (unsigned K = 0; K != W; ++K) {
+    // Eq. 1 / Eq. 2 (header summaries are zero rows on non-headers).
+    Word Steal = StealI[K] | SumSteal[K];
+    Word Give = GiveI[K] | SumGive[K];
+
+    // Eq. 3: BLOCK(n) = STEAL(n) u GIVE(n)
+    //   u union_{s in SUCCS^E} BLOCK_loc(s)
+    Word Block = Steal | Give | EntryBlock[K];
+
+    // Eq. 4 was gathered: TAKEN_out(n) = meet_{s in SUCCS^FJS} TAKEN_in(s)
+    Word TOut = TakenOut[K];
+
+    // Eq. 5: TAKE(n) = TAKE_init(n)
+    //   u (union_{s in SUCCS^E} TAKEN_in(s) - STEAL(n))
+    //   u ((TAKEN_out(n) n union_{s in SUCCS^E} TAKE_loc(s)) - BLOCK(n))
+    // For NoHoist headers the loop-body contributions are ignored
+    // (Section 5.3's per-header alternative to STEAL_init poisoning):
+    // EntryTaken/EntryTake are zero rows then.
+    Word Take =
+        TakeI[K] | (EntryTaken[K] & ~Steal) | (EntryTake[K] & TOut & ~Block);
+
+    // Eq. 6: TAKEN_in(n) = TAKE(n) u (TAKEN_out(n) - BLOCK(n)); NoHoist
+    // headers are analysis barriers in this direction too (mask zero).
+    Word TakenIn = Take | (TOut & ~Block & HoistMask);
+
+    // Eq. 7: BLOCK_loc(n) =
+    //   (BLOCK(n) u union_{s in SUCCS^F} BLOCK_loc(s)) - TAKE(n)
+    Word BlockLoc = (Block | FwdBlock[K]) & ~Take;
+
+    // Eq. 8: TAKE_loc(n) = TAKE(n)
+    //   u (union_{s in SUCCS^EF} TAKE_loc(s) - BLOCK(n))
+    Word TakeLoc = (EfTake[K] & ~Block) | Take;
+
+    RSteal[K] = Steal;
+    RGive[K] = Give;
+    RBlock[K] = Block;
+    RTake[K] = Take;
+    RTakenIn[K] = TakenIn;
+    RBlockLoc[K] = BlockLoc;
+    RTakeLoc[K] = TakeLoc;
+  }
+}
+
+/// The fused S3 step (Eq. 11-13) for one node and urgency. \p RGivenIn
+/// arrives holding the predecessor meet; \p PredUnion holds the
+/// predecessor union; header rows are zero rows when there is no
+/// (hoistable) header.
+inline void fuseS3(unsigned W, Word *__restrict RGivenIn,
+                   const Word *__restrict PredUnion,
+                   const Word *__restrict HdrGiven,
+                   const Word *__restrict HdrSteal,
+                   const Word *__restrict NTakenIn,
+                   const Word *__restrict NUrgent,
+                   const Word *__restrict NGive,
+                   const Word *__restrict NSteal, Word *__restrict RGiven,
+                   Word *__restrict RGivenOut) {
+  for (unsigned K = 0; K != W; ++K) {
+    // Eq. 11: GIVEN_in(n) = GIVEN(HEADER(n))
+    //   u meet_{p in PREDS^FJ} GIVEN_out(p)
+    //   u (TAKEN_in(n) n union_{q in PREDS^FJ} GIVEN_out(q))
+    //
+    // Soundness refinement over the paper's literal equation: the
+    // in-flow from the header subtracts the loop's STEAL summary. An
+    // item stolen somewhere in the body is not guaranteed at the body
+    // top on iterations after the first, so consumers inside must
+    // re-produce it (the literal GIVEN(HEADER) term would let a
+    // pre-loop production cover every iteration).
+    // NoHoist headers are fully opaque: availability does not flow into
+    // the body at all, so in-loop consumers get per-iteration
+    // production pairs in both solutions (keeping C1 balance).
+    Word In = RGivenIn[K] | (HdrGiven[K] & ~HdrSteal[K]) |
+              (PredUnion[K] & NTakenIn[K]);
+
+    // Eq. 12: GIVEN(n) = GIVEN_in(n) u (EAGER ? TAKEN_in(n) : TAKE(n))
+    Word Given = In | NUrgent[K];
+
+    // Eq. 13: GIVEN_out(n) = (GIVE(n) u GIVEN(n)) - STEAL(n)
+    RGivenIn[K] = In;
+    RGiven[K] = Given;
+    RGivenOut[K] = (NGive[K] | Given) & ~NSteal[K];
+  }
+}
+
+/// The fused S4 step (Eq. 14-15). \p RResOut arrives holding the
+/// successor union; returns the OR over the final RES_out words so the
+/// caller can assert the no-critical-edge property.
+inline Word fuseS4(unsigned W, const Word *__restrict RGiven,
+                   const Word *__restrict RGivenIn,
+                   const Word *__restrict RGivenOut, Word *__restrict RResIn,
+                   Word *__restrict RResOut) {
+  Word AnyOut = 0;
+  for (unsigned K = 0; K != W; ++K) {
+    // Eq. 14: RES_in(n) = GIVEN(n) - GIVEN_in(n)
+    RResIn[K] = RGiven[K] & ~RGivenIn[K];
+
+    // Eq. 15: RES_out(n) = union_{s in SUCCS^FJ} GIVEN_in(s)
+    //   - GIVEN_out(n)
+    Word Out = RResOut[K] & ~RGivenOut[K];
+    RResOut[K] = Out;
+    AnyOut |= Out;
+  }
+  return AnyOut;
+}
+
+/// The fused evaluator over the word window [\p WordOff, \p WordOff +
+/// \p WWin) of the universe: identical schedule and identical reads as
+/// the classic solver, but all variables live in \p M and each schedule
+/// step runs as a handful of vectorizable word sweeps per node — union
+/// and meet gathers over the edge lists, then one fixed-arity fused
+/// pass with no allocation anywhere.
+///
+/// Windowing is exact because no equation crosses word lanes: the
+/// window's words come out bit-for-bit equal to a full-width solve.
+/// This one property backs both the cache-blocked serial driver and the
+/// sharded driver, whose workers write disjoint windows of one shared
+/// arena.
+void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
+                    DataflowMatrix &M, unsigned WordOff, unsigned WWin) {
+  const unsigned N = Ifg.size();
+  const unsigned W = WWin;
+  using ET = EdgeType;
+  if (W == 0)
+    return; // Empty window: nothing to compute.
+  const std::vector<NodeId> &Pre = Ifg.preorder();
+
+  auto row = [&](ArenaField F, NodeId Id) -> Word * {
+    return M.row(static_cast<unsigned>(F) * N + Id) + WordOff;
+  };
+
+  std::vector<char> NoHoist(N, 0);
+  for (NodeId H : P.NoHoistHeaders)
+    NoHoist[H] = 1;
+
+  // Scratch rows for the edge gathers, plus one shared always-zero row
+  // standing in for absent operands (no header summary, NoHoist) so the
+  // fused sweeps never branch per word.
+  std::vector<Word> Scratch(static_cast<std::size_t>(7) * W, 0);
+  Word *SEntryBlock = Scratch.data() + 0 * W;
+  Word *SEntryTaken = Scratch.data() + 1 * W;
+  Word *SEntryTake = Scratch.data() + 2 * W;
+  Word *SFwdBlock = Scratch.data() + 3 * W;
+  Word *SEfTake = Scratch.data() + 4 * W;
+  Word *SPredUnion = Scratch.data() + 5 * W;
+  const Word *ZeroRow = Scratch.data() + 6 * W; // never written
+
+  // The arena arrives uninitialized, so every row that can be read (or
+  // exported) before its equation writes it must start at bottom,
+  // mirroring the classic solver's zero-initialized vectors. Three
+  // classes qualify:
+  //
+  //  - fields gathered across edges or into header summaries (TAKEN_in,
+  //    BLOCK_loc, TAKE_loc, GIVE_loc, STEAL_loc, GIVEN_out): the
+  //    elimination order guarantees write-before-read along FORWARD and
+  //    child edges, but a JUMP/SYNTHETIC edge may reach a row whose
+  //    producer has not run yet, and that early read must see bottom;
+  //  - ROOT's remaining placement rows: it is nobody's child (Eq. 9-10)
+  //    and Pass 2 skips it by design, yet Pass 3 reads them and the
+  //    exported result exposes them;
+  //  - every row of a node outside preorder (ROOT-unreachable code,
+  //    which the reference solvers leave at bottom).
+  //
+  // The other fields (STEAL..TAKE, GIVEN_in, GIVEN, RES_*) are written
+  // by their own node's schedule step strictly before any read, so they
+  // can stay uninitialized.
+  for (ArenaField F : {FTakenIn, FBlockLoc, FTakeLoc, FGiveLoc, FStealLoc,
+                       FEagerGivenOut, FLazyGivenOut})
+    for (unsigned Id = 0; Id != N; ++Id)
+      rowZero(row(F, Id), W);
+  for (ArenaField F : {FEagerGivenIn, FEagerGiven, FLazyGivenIn, FLazyGiven})
+    rowZero(row(F, Ifg.root()), W);
+  if (Pre.size() != N) {
+    std::vector<char> Reached(N, 0);
+    for (NodeId Id : Pre)
+      Reached[Id] = 1;
+    for (unsigned Id = 0; Id != N; ++Id)
+      if (!Reached[Id])
+        for (unsigned F = 0; F != NumArenaFields; ++F)
+          rowZero(row(static_cast<ArenaField>(F), Id), W);
+  }
+
+  RowList EntryBlockLoc, EntryTakenIn, EntryTakeLoc, FjsTakenIn, FwdBlockLoc,
+      EfTakeLoc, FjPredGiveLoc, FjPredStealLoc, SynPredStealLoc,
+      FjPredGivenOut, FjSuccGivenIn;
+
+  //===------------------------------------------------------------------===//
+  // Pass 1 (REVERSEPREORDER): S2 for the children of n, then S1(n).
+  //===------------------------------------------------------------------===//
+  for (auto It = Pre.rbegin(), E = Pre.rend(); It != E; ++It) {
+    NodeId Node = *It;
+
+    for (NodeId C : Ifg.children(Node)) {
+      FjPredGiveLoc.clear();
+      FjPredStealLoc.clear();
+      SynPredStealLoc.clear();
+      for (const IfgEdge &Edge : Ifg.preds(C)) {
+        if (Edge.Type == ET::Forward || Edge.Type == ET::Jump) {
+          FjPredGiveLoc.push_back(row(FGiveLoc, Edge.Src));
+          FjPredStealLoc.push_back(row(FStealLoc, Edge.Src));
+        } else if (Edge.Type == ET::Synthetic) {
+          SynPredStealLoc.push_back(row(FStealLoc, Edge.Src));
+        }
+      }
+      // Eq. 10: STEAL_loc(c) = STEAL(c)
+      //   u union_{p in PREDS^FJ} (STEAL_loc(p) - GIVE_loc(p))
+      //   u union_{p in PREDS^S} STEAL_loc(p)
+      // (S preds are jumped-out intervals left mid-flight: their
+      // resupplies cannot be subtracted.)
+      Word *CStealLoc = row(FStealLoc, C);
+      rowCopy(CStealLoc, row(FSteal, C), W);
+      for (std::size_t I = 0, IE = FjPredStealLoc.size(); I != IE; ++I)
+        rowOrAndNot(CStealLoc, FjPredStealLoc[I], FjPredGiveLoc[I], W);
+      for (const Word *S : SynPredStealLoc)
+        rowOr(CStealLoc, S, W);
+
+      // Eq. 9: GIVE_loc(c) =
+      //   (GIVE(c) u TAKE(c) u meet_{p in PREDS^FJ} GIVE_loc(p))
+      //   - STEAL(c)
+      Word *CGiveLoc = row(FGiveLoc, C);
+      gatherMeet(CGiveLoc, FjPredGiveLoc, W);
+      fuseGiveLoc(W, CGiveLoc, row(FGive, C), row(FTake, C), row(FSteal, C));
+    }
+
+    EntryBlockLoc.clear();
+    EntryTakenIn.clear();
+    EntryTakeLoc.clear();
+    FjsTakenIn.clear();
+    FwdBlockLoc.clear();
+    EfTakeLoc.clear();
+    for (const IfgEdge &Edge : Ifg.succs(Node)) {
+      switch (Edge.Type) {
+      case ET::Entry:
+        EntryBlockLoc.push_back(row(FBlockLoc, Edge.Dst));
+        EntryTakenIn.push_back(row(FTakenIn, Edge.Dst));
+        EntryTakeLoc.push_back(row(FTakeLoc, Edge.Dst));
+        EfTakeLoc.push_back(row(FTakeLoc, Edge.Dst));
+        break;
+      case ET::Forward:
+        FjsTakenIn.push_back(row(FTakenIn, Edge.Dst));
+        FwdBlockLoc.push_back(row(FBlockLoc, Edge.Dst));
+        EfTakeLoc.push_back(row(FTakeLoc, Edge.Dst));
+        break;
+      case ET::Jump:
+      case ET::Synthetic:
+        FjsTakenIn.push_back(row(FTakenIn, Edge.Dst));
+        break;
+      case ET::Cycle:
+        break;
+      }
+    }
+
+    // Eq. 1 / Eq. 2 header summaries: NoHoist headers keep the STEAL
+    // summary (it only blocks) but drop the GIVE summary — production
+    // inside a loop that may run zero times must not count as available
+    // past it.
+    const Word *SumSteal = ZeroRow;
+    const Word *SumGive = ZeroRow;
+    if (Ifg.isHeader(Node) && Ifg.lastChild(Node) != InvalidNode) {
+      SumSteal = row(FStealLoc, Ifg.lastChild(Node));
+      if (!NoHoist[Node])
+        SumGive = row(FGiveLoc, Ifg.lastChild(Node));
+    }
+    const bool Hoistable = !NoHoist[Node];
+
+    // Edge gathers as plain row sweeps; Eq. 4's meet lands straight in
+    // the TAKEN_out row. NoHoist headers ignore the loop-body TAKE
+    // contributions (Section 5.3's per-header alternative to STEAL_init
+    // poisoning), expressed as zero rows so fuseS1 stays branch-free.
+    Word *RTakenOut = row(FTakenOut, Node);
+    gatherMeet(RTakenOut, FjsTakenIn, W);
+    gatherUnion(SEntryBlock, EntryBlockLoc, W);
+    gatherUnion(SFwdBlock, FwdBlockLoc, W);
+    gatherUnion(SEfTake, EfTakeLoc, W);
+    const Word *EntryTaken = ZeroRow;
+    const Word *EntryTake = ZeroRow;
+    if (Hoistable) {
+      gatherUnion(SEntryTaken, EntryTakenIn, W);
+      gatherUnion(SEntryTake, EntryTakeLoc, W);
+      EntryTaken = SEntryTaken;
+      EntryTake = SEntryTake;
+    }
+
+    fuseS1(W, P.StealInit[Node].words() + WordOff,
+           P.GiveInit[Node].words() + WordOff,
+           P.TakeInit[Node].words() + WordOff, SumSteal, SumGive, SEntryBlock,
+           EntryTaken, EntryTake, SFwdBlock, SEfTake,
+           Hoistable ? ~Word(0) : Word(0), RTakenOut, row(FSteal, Node),
+           row(FGive, Node), row(FBlock, Node), row(FTake, Node),
+           row(FTakenIn, Node), row(FBlockLoc, Node), row(FTakeLoc, Node));
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 2 (PREORDER): S3 — Eq. 11-13 for EAGER and LAZY. ROOT's
+  // placement variables stay at bottom so production is assigned to real
+  // program nodes (the paper excludes ROOT from its worked example).
+  //===------------------------------------------------------------------===//
+  for (NodeId Node : Pre) {
+    if (Node == Ifg.root())
+      continue;
+    const NodeId Header = Ifg.headerOf(Node);
+    const bool FromHeader = Header != InvalidNode && !NoHoist[Header];
+    const Word *HdrSteal = FromHeader ? row(FSteal, Header) : ZeroRow;
+    const Word *NTakenIn = row(FTakenIn, Node);
+    const Word *NTake = row(FTake, Node);
+    const Word *NGive = row(FGive, Node);
+    const Word *NSteal = row(FSteal, Node);
+
+    for (Urgency Urg : {Urgency::Eager, Urgency::Lazy}) {
+      const bool Eager = Urg == Urgency::Eager;
+      const ArenaField GivenInF = Eager ? FEagerGivenIn : FLazyGivenIn;
+      const ArenaField GivenF = Eager ? FEagerGiven : FLazyGiven;
+      const ArenaField GivenOutF = Eager ? FEagerGivenOut : FLazyGivenOut;
+
+      FjPredGivenOut.clear();
+      for (const IfgEdge &Edge : Ifg.preds(Node))
+        if (Edge.Type == ET::Forward || Edge.Type == ET::Jump)
+          FjPredGivenOut.push_back(row(GivenOutF, Edge.Src));
+      const Word *HdrGiven = FromHeader ? row(GivenF, Header) : ZeroRow;
+
+      // Predecessor meet lands straight in the GIVEN_in row, the union
+      // in scratch; fuseS3 finishes Eq. 11-13 in one sweep.
+      Word *RGivenIn = row(GivenInF, Node);
+      gatherMeet(RGivenIn, FjPredGivenOut, W);
+      gatherUnion(SPredUnion, FjPredGivenOut, W);
+      fuseS3(W, RGivenIn, SPredUnion, HdrGiven, HdrSteal, NTakenIn,
+             Eager ? NTakenIn : NTake, NGive, NSteal, row(GivenF, Node),
+             row(GivenOutF, Node));
+    }
+  }
+
+  //===------------------------------------------------------------------===//
+  // Pass 3 (any order): S4 — Eq. 14-15.
+  //===------------------------------------------------------------------===//
+  for (NodeId Node : Pre) {
+    for (unsigned PlIdx = 0; PlIdx != 2; ++PlIdx) {
+      const bool Eager = PlIdx == 0;
+      const ArenaField GivenInF = Eager ? FEagerGivenIn : FLazyGivenIn;
+      const Word *RGivenIn = row(GivenInF, Node);
+      const Word *RGiven = row(Eager ? FEagerGiven : FLazyGiven, Node);
+      const Word *RGivenOut =
+          row(Eager ? FEagerGivenOut : FLazyGivenOut, Node);
+      Word *RResIn = row(Eager ? FEagerResIn : FLazyResIn, Node);
+      Word *RResOut = row(Eager ? FEagerResOut : FLazyResOut, Node);
+
+      FjSuccGivenIn.clear();
+      for (const IfgEdge &Edge : Ifg.succs(Node))
+        if (Edge.Type == ET::Forward || Edge.Type == ET::Jump)
+          FjSuccGivenIn.push_back(row(GivenInF, Edge.Dst));
+
+      // Eq. 15's successor union lands straight in the RES_out row;
+      // fuseS4 finishes Eq. 14-15.
+      gatherUnion(RResOut, FjSuccGivenIn, W);
+      Word AnyOut = fuseS4(W, RGiven, RGivenIn, RGivenOut, RResIn, RResOut);
+      (void)AnyOut;
+
+      // The paper's no-critical-edge argument (Section 4.5) implies exit
+      // production only lands on single-successor nodes.  JUMP edges are
+      // the one exception: a jump source keeps both its fall-through and
+      // its jump successor (normalization never splits jump edges), so
+      // the argument does not apply there; Section 5.3's header poisoning
+      // keeps such placements balanced instead.
+      assert((AnyOut == 0 || Ifg.succs(Node).size() == 1 ||
+              std::any_of(Ifg.succs(Node).begin(), Ifg.succs(Node).end(),
+                          [](const IfgEdge &Edge) {
+                            return Edge.Type == EdgeType::Jump;
+                          })) &&
+             "RES_out on a multi-successor non-jump node");
+    }
+  }
+}
+
+/// Solves words [\p W0, \p W1) of the universe in one evaluator pass.
+/// (Splitting the range into cache-sized chunks was measured and
+/// rejected: the per-pass graph walk and edge-list assembly repeated
+/// per chunk cost roughly 2x more than the locality it bought, because
+/// each schedule step already streams the arena linearly.)
+void solveRange(const IntervalFlowGraph &Ifg, const GntProblem &P,
+                DataflowMatrix &M, unsigned W0, unsigned W1) {
+  solveIntoArena(Ifg, P, M, W0, W1 - W0);
+}
+
+/// Exposes the arena as the GntResult's BitVector fields. No words are
+/// copied: every field vector borrows its rows, and the result keeps
+/// the arena alive through its Arena handle. The forEachGntField
+/// enumeration order matches the ArenaField layout.
+GntResult exportArena(std::shared_ptr<DataflowMatrix> M, unsigned NumNodes) {
+  GntResult R;
+  const unsigned Bits = M->bits();
+  unsigned Field = 0;
+  forEachGntField(R, [&](const char *, std::vector<BitVector> &V) {
+    V.reserve(NumNodes);
+    for (unsigned Id = 0; Id != NumNodes; ++Id)
+      V.push_back(
+          BitVector::borrowWords(M->row(Field * NumNodes + Id), Bits));
+    ++Field;
+  });
+  assert(Field == NumArenaFields && "field enumeration out of sync");
+  R.Arena = std::move(M);
+  return R;
+}
+
+} // namespace
+
+GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
+                              const GntProblem &P) {
+  const unsigned N = Ifg.size();
+  assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
+         P.StealInit.size() == N && "problem not sized to the graph");
+
+  auto M = std::make_shared<DataflowMatrix>(NumArenaFields * N,
+                                            P.UniverseSize,
+                                            DataflowMatrix::Uninit);
+  solveRange(Ifg, P, *M, 0, M->wordsPerRow());
+  return exportArena(std::move(M), N);
+}
+
+//===----------------------------------------------------------------------===//
+// Item-sharded solve
+//===----------------------------------------------------------------------===//
+
+GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                     const GntProblem &P, unsigned Shards,
+                                     ThreadPool &Pool) {
+  const unsigned N = Ifg.size();
+  const unsigned TotalWords = (P.UniverseSize + BitVector::WordBits - 1) /
+                              BitVector::WordBits;
+  if (Shards <= 1 || TotalWords <= 1)
+    return solveGiveNTake(Ifg, P);
+  Shards = std::min(Shards, TotalWords);
+  assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
+         P.StealInit.size() == N && "problem not sized to the graph");
+
+  // Workers solve disjoint word ranges of one shared arena. Because no
+  // equation crosses word lanes, each range's words come out exactly as
+  // the serial solve computes them — byte-identity for every shard
+  // count, with no slicing or stitching step at all. Writes are to
+  // disjoint addresses and the pool's wait() orders them before the
+  // export below.
+  auto M = std::make_shared<DataflowMatrix>(NumArenaFields * N,
+                                            P.UniverseSize,
+                                            DataflowMatrix::Uninit);
+  for (unsigned S = 0; S != Shards; ++S) {
+    const unsigned A = static_cast<unsigned>(
+        static_cast<std::uint64_t>(TotalWords) * S / Shards);
+    const unsigned B = static_cast<unsigned>(
+        static_cast<std::uint64_t>(TotalWords) * (S + 1) / Shards);
+    Pool.submit([&Ifg, &P, &M, A, B] { solveRange(Ifg, P, *M, A, B); });
+  }
+  Pool.wait();
+  return exportArena(std::move(M), N);
+}
+
+GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                     const GntProblem &P, unsigned Shards) {
+  const unsigned TotalWords = (P.UniverseSize + BitVector::WordBits - 1) /
+                              BitVector::WordBits;
+  if (Shards <= 1 || TotalWords <= 1)
+    return solveGiveNTake(Ifg, P);
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  ThreadPool Pool(std::min({Shards, TotalWords, Hardware}));
+  return solveGiveNTakeSharded(Ifg, P, Shards, Pool);
+}
+
+//===----------------------------------------------------------------------===//
+// Oriented driver
+//===----------------------------------------------------------------------===//
+
+GntRun gnt::runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
+                         unsigned SolverShards) {
   GntRun Run;
   Run.OrientedProblem = P;
   if (P.Dir == Direction::Before) {
@@ -341,6 +971,9 @@ GntRun gnt::runGiveNTake(const IntervalFlowGraph &Forward,
     for (NodeId H : Forward.jumpPoisonedHeaders())
       Run.OrientedProblem.StealInit[H].set();
   }
-  Run.Result = solveGiveNTake(Run.OrientedIfg, Run.OrientedProblem);
+  Run.Result = SolverShards > 1
+                   ? solveGiveNTakeSharded(Run.OrientedIfg,
+                                           Run.OrientedProblem, SolverShards)
+                   : solveGiveNTake(Run.OrientedIfg, Run.OrientedProblem);
   return Run;
 }

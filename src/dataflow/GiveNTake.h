@@ -31,6 +31,7 @@
 #include "interval/IntervalFlowGraph.h"
 #include "support/BitVector.h"
 
+#include <memory>
 #include <vector>
 
 namespace gnt {
@@ -95,14 +96,85 @@ struct GntResult {
   std::vector<BitVector> StealLoc; ///< Eq. 10.
   GntPlacement Eager;
   GntPlacement Lazy;
+
+  /// Keep-alive handle for the DataflowMatrix arena backing the field
+  /// BitVectors when this result came from the arena solver (the
+  /// vectors then borrow their words from the arena instead of owning
+  /// copies — see BitVector::borrowWords). Null for results assembled
+  /// from standalone BitVectors, e.g. by the reference oracle. Copying
+  /// a GntResult deep-copies every BitVector into owned storage either
+  /// way, so the handle never outlives its users.
+  std::shared_ptr<void> Arena;
 };
+
+/// Applies \p Fn("NAME", FieldVector) to every dataflow variable of a
+/// GntResult: the ten Figure 13 variables plus the five placement
+/// variables of each urgency (20 vectors total). Shard stitching and
+/// the differential test battery iterate fields through this helper, so
+/// both stay exhaustive by construction when a field is added.
+template <typename ResultT, typename Fn>
+void forEachGntField(ResultT &&R, Fn &&F) {
+  F("STEAL", R.Steal);
+  F("GIVE", R.Give);
+  F("BLOCK", R.Block);
+  F("TAKEN_out", R.TakenOut);
+  F("TAKE", R.Take);
+  F("TAKEN_in", R.TakenIn);
+  F("BLOCK_loc", R.BlockLoc);
+  F("TAKE_loc", R.TakeLoc);
+  F("GIVE_loc", R.GiveLoc);
+  F("STEAL_loc", R.StealLoc);
+  F("EAGER.GIVEN_in", R.Eager.GivenIn);
+  F("EAGER.GIVEN", R.Eager.Given);
+  F("EAGER.GIVEN_out", R.Eager.GivenOut);
+  F("EAGER.RES_in", R.Eager.ResIn);
+  F("EAGER.RES_out", R.Eager.ResOut);
+  F("LAZY.GIVEN_in", R.Lazy.GivenIn);
+  F("LAZY.GIVEN", R.Lazy.Given);
+  F("LAZY.GIVEN_out", R.Lazy.GivenOut);
+  F("LAZY.RES_in", R.Lazy.ResIn);
+  F("LAZY.RES_out", R.Lazy.ResOut);
+}
 
 /// Runs the three-pass elimination solver of Figure 15 on \p Ifg. The
 /// graph must already be oriented for the problem direction (callers
 /// normally use runGiveNTake() below). ROOT's placement variables are
 /// pinned to bottom so production lands on real program nodes, matching
 /// the paper's worked example.
+///
+/// The evaluator works on a flat DataflowMatrix arena (one contiguous
+/// allocation for all 20 variables) and fuses the equations of each
+/// schedule step into a single word loop per node; the result is
+/// materialized into the BitVector fields afterwards. Values are
+/// bit-for-bit identical to solveGiveNTakeClassic().
 GntResult solveGiveNTake(const IntervalFlowGraph &Ifg, const GntProblem &P);
+
+/// The pre-arena evaluator: one BitVector temporary per equation term,
+/// exactly one equation at a time. Kept as the differential oracle for
+/// the arena solver (the property battery asserts byte-identical
+/// results) and as the baseline bench_solver_scaling measures the arena
+/// speedup against. Not used on any production path.
+GntResult solveGiveNTakeClassic(const IntervalFlowGraph &Ifg,
+                                const GntProblem &P);
+
+class ThreadPool;
+
+/// Solves \p P with the item universe partitioned into \p Shards
+/// word-aligned chunks solved independently (on \p Pool when given) and
+/// stitched back together. Equations 1-15 are item-wise independent —
+/// every operation is a bitwise AND/OR/ANDNOT that never crosses bit
+/// lanes — so any shard count yields results byte-identical to the
+/// serial solve; that invariance is a hard contract enforced by the
+/// property battery. Shards <= 1 (or a single-word universe) falls back
+/// to the serial arena solver; shard counts beyond the word count are
+/// clamped.
+GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                const GntProblem &P, unsigned Shards,
+                                ThreadPool &Pool);
+
+/// Convenience overload owning a pool sized to min(Shards, hardware).
+GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                const GntProblem &P, unsigned Shards);
 
 /// A complete, oriented GIVE-N-TAKE run.
 struct GntRun {
@@ -129,8 +201,12 @@ struct GntRun {
 };
 
 /// Orients the problem (reversing the graph and poisoning jumped-out
-/// intervals for AFTER problems) and solves it.
-GntRun runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P);
+/// intervals for AFTER problems) and solves it. \p SolverShards > 1
+/// solves the item universe in that many word-aligned shards on a
+/// transient thread pool; by the shard-invariance contract the result
+/// is byte-identical to the serial solve (SolverShards <= 1).
+GntRun runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
+                    unsigned SolverShards = 0);
 
 } // namespace gnt
 

@@ -41,7 +41,16 @@ public:
 
 private:
   unsigned pick(unsigned N) { return static_cast<unsigned>(Rng() % N); }
-  bool chance(double P) { return Dist(Rng) < P; }
+
+  /// One draw against probability \p P, computed with portable integer
+  /// arithmetic. std::uniform_real_distribution is implementation
+  /// defined (libstdc++ and libc++ consume the engine differently), so
+  /// using it would break the "same seed, same program text on every
+  /// machine" guarantee GeneratorTest pins. The top 24 engine bits give
+  /// an exact dyadic rational in [0, 1).
+  bool chance(double P) {
+    return (Rng() >> 8) * (1.0 / 16777216.0) < P;
+  }
 
   std::string distArray() { return "x" + itostr(pick(C.NumDistributed)); }
   std::string indexArray() { return "a" + itostr(pick(C.NumIndexArrays)); }
@@ -152,7 +161,6 @@ private:
 
   const GenConfig &C;
   std::mt19937 Rng;
-  std::uniform_real_distribution<double> Dist{0.0, 1.0};
   unsigned StmtsLeft = 0;
   unsigned NextLabel = 10;
   unsigned LoopCounter = 0;

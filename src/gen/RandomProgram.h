@@ -12,6 +12,14 @@
 /// offset, strided and indirect subscripts. All generated programs parse,
 /// build reducible CFGs, and terminate under simulation.
 ///
+/// Reproducibility: generation is a pure function of GenConfig, using
+/// only std::mt19937 raw draws (whose output sequence the standard
+/// fully specifies) and portable integer arithmetic — never
+/// distribution adaptors, whose results are implementation defined. The
+/// same seed therefore yields the same program text on every machine
+/// and standard library; GeneratorTest pins one golden program to catch
+/// accidental stream changes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GNT_GEN_RANDOMPROGRAM_H

@@ -225,11 +225,12 @@ private:
 } // namespace
 
 ExprPreResult gnt::runExprPre(const Program &P, const Cfg &G,
-                              const IntervalFlowGraph &Ifg) {
+                              const IntervalFlowGraph &Ifg,
+                              unsigned SolverShards) {
   ExprPreResult R;
   PreAnalyzer A(P, G, R);
   R.Problem = A.buildProblem();
-  R.Run = runGiveNTake(Ifg, R.Problem);
+  R.Run = runGiveNTake(Ifg, R.Problem, SolverShards);
 
   // LAZY placements are the classical PRE insertions; an insertion that
   // coincides with an occurrence stays an ordinary evaluation whose

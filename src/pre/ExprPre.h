@@ -74,9 +74,14 @@ struct ExprPreResult {
   GntVerifyResult verify() const;
 };
 
-/// Runs expression PRE over \p P.
+/// Runs expression PRE over \p P. \p SolverShards > 1 solves the
+/// underlying GIVE-N-TAKE problem with the expression universe split
+/// into that many word-aligned shards; the placement is byte-identical
+/// for every shard count (the shard-invariance contract of
+/// dataflow/GiveNTake.h).
 ExprPreResult runExprPre(const Program &P, const Cfg &G,
-                         const IntervalFlowGraph &Ifg);
+                         const IntervalFlowGraph &Ifg,
+                         unsigned SolverShards = 0);
 
 } // namespace gnt
 

@@ -77,6 +77,15 @@ bool decodeOptions(const JsonValue &Obj, PipelineOptions &Opts,
     } else if (Key == "werror") {
       if (!optionBool(V, Key, Opts.Werror, Error))
         return false;
+    } else if (Key == "solver_shards") {
+      // Execution strategy, not a semantic knob: any value produces
+      // byte-identical results (and shares one cache entry — the field
+      // is excluded from the canonical options string).
+      if (!V.isInt() || V.I < 0 || V.I > 65536) {
+        Error = "option `solver_shards` must be an integer in [0, 65536]";
+        return false;
+      }
+      Opts.SolverShards = static_cast<unsigned>(V.I);
     } else {
       Error = "unknown option `" + Key + "`";
       return false;

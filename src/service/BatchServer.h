@@ -20,7 +20,9 @@
 /// by the worker) is required; "id" defaults to the 1-based line
 /// number; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
 /// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
-/// "writes", "annotate", "audit", "verify", "werror".
+/// "writes", "annotate", "audit", "verify", "werror", "solver_shards"
+/// (integer; an execution strategy with byte-identical results for any
+/// value, so it does not participate in the result cache key).
 ///
 /// One response line per request, in request order regardless of
 /// scheduling: {"id": ..., "result": {"ok": ..., "annotated": ...,

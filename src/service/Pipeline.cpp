@@ -53,6 +53,9 @@ std::string PipelineOptions::canonical() const {
   R += ";audit=" + itostr(Audit);
   R += ";verify=" + itostr(Verify);
   R += ";werror=" + itostr(Werror);
+  // SolverShards is intentionally absent: sharding the solve cannot
+  // change any output byte (the shard-invariance contract), so requests
+  // differing only in shard count must share a cache entry.
   return R;
 }
 
@@ -160,7 +163,7 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
   if (Opts.Mode == PipelineMode::Pre) {
     {
       StageTimer T(R, PipelineStage::Solve);
-      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg);
+      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg, Opts.SolverShards);
     }
     if (Opts.Annotate) {
       StageTimer T(R, PipelineStage::Annotate);
@@ -183,7 +186,8 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
       else if (Opts.Baseline == "lcm")
         R.Plan = lcmPlacement(R.Prog, R.G, *R.Ifg);
       else if (Opts.Baseline.empty())
-        R.Plan = generateComm(R.Prog, R.G, *R.Ifg, Opts.Comm);
+        R.Plan = generateComm(R.Prog, R.G, *R.Ifg, Opts.Comm,
+                              Opts.SolverShards);
       else {
         R.Diags.add(makeError(CheckId::Engine,
                               "unknown baseline `" + Opts.Baseline + "`"));

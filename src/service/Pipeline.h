@@ -97,7 +97,16 @@ struct PipelineOptions {
   /// Promote warnings and notes to errors at the end of the run.
   bool Werror = false;
 
-  /// Stable, human-readable key=value rendering of every knob.
+  /// Number of word-aligned item shards the GIVE-N-TAKE solve runs in
+  /// (0 or 1 = serial). Sharding is an execution strategy, not a
+  /// semantic knob: the shard-invariance contract of
+  /// dataflow/GiveNTake.h guarantees byte-identical results for every
+  /// value, so this field is deliberately NOT part of canonical() — two
+  /// requests that differ only in shard count share one cache entry.
+  unsigned SolverShards = 0;
+
+  /// Stable, human-readable key=value rendering of every knob that can
+  /// change output (SolverShards cannot, see above, and is excluded).
   std::string canonical() const;
 };
 

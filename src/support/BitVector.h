@@ -10,6 +10,14 @@
 /// and differences of these sets, so this type is the workhorse of the
 /// whole framework. The interface follows the spirit of llvm::BitVector.
 ///
+/// Storage is either owned (the default) or borrowed from an external
+/// word row (see borrowWords), which lets the arena-backed solver expose
+/// its rows as BitVectors without copying. Borrowing is invisible to
+/// users: copies always deep-copy into owned storage, comparisons and
+/// set algebra read through whichever storage is active, and resize()
+/// first materializes an owned copy. The borrower is responsible for
+/// keeping the external row alive and tail-masked.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GNT_SUPPORT_BITVECTOR_H
@@ -38,17 +46,64 @@ public:
     resize(NumBits, Value);
   }
 
+  /// Deep copy: a copy always owns its words, even when the source
+  /// borrows them.
+  BitVector(const BitVector &RHS)
+      : Owned(RHS.words(), RHS.words() + RHS.wordCount()), Ext(nullptr),
+        NumBits(RHS.NumBits) {}
+
+  BitVector &operator=(const BitVector &RHS) {
+    if (this != &RHS) {
+      Owned.assign(RHS.words(), RHS.words() + RHS.wordCount());
+      Ext = nullptr;
+      NumBits = RHS.NumBits;
+    }
+    return *this;
+  }
+
+  /// Moves transfer storage as-is; a moved borrowed vector keeps
+  /// pointing at the same external row.
+  BitVector(BitVector &&) = default;
+  BitVector &operator=(BitVector &&) = default;
+
+  /// Creates a vector of \p NumBits bits initialized from the packed
+  /// words at \p Src (numWords(NumBits) of them). Bits of the last word
+  /// beyond \p NumBits are ignored.
+  static BitVector fromWords(const Word *Src, unsigned NumBits) {
+    // Single-write construction: assign copies the source words without
+    // the zero-fill a resize-then-overwrite would do.
+    BitVector R;
+    R.Owned.assign(Src, Src + numWords(NumBits));
+    R.NumBits = NumBits;
+    R.clearExcessBits();
+    return R;
+  }
+
+  /// Creates a vector of \p NumBits bits that aliases the
+  /// numWords(NumBits) words at \p Row instead of copying them. The
+  /// caller guarantees the row outlives every borrowed view and already
+  /// satisfies the tail-word invariant (bits beyond \p NumBits zero).
+  /// Mutations write through to the row; copying the vector or calling
+  /// resize() detaches into owned storage.
+  static BitVector borrowWords(Word *Row, unsigned NumBits) {
+    BitVector R;
+    R.Ext = Row;
+    R.NumBits = NumBits;
+    return R;
+  }
+
   /// Number of bits in the vector.
   unsigned size() const { return NumBits; }
 
   /// Grows or shrinks the vector to \p NewSize bits; new bits get \p Value.
   void resize(unsigned NewSize, bool Value = false) {
+    materialize();
     unsigned OldSize = NumBits;
-    Words.resize(numWords(NewSize), Value ? ~Word(0) : Word(0));
+    Owned.resize(numWords(NewSize), Value ? ~Word(0) : Word(0));
     NumBits = NewSize;
     if (Value && OldSize < NewSize && OldSize % WordBits != 0) {
       // The old partial tail word must have its fresh high bits set.
-      Words[OldSize / WordBits] |= ~Word(0) << (OldSize % WordBits);
+      Owned[OldSize / WordBits] |= ~Word(0) << (OldSize % WordBits);
     }
     clearExcessBits();
   }
@@ -56,40 +111,51 @@ public:
   /// Sets bit \p Idx.
   void set(unsigned Idx) {
     assert(Idx < NumBits && "bit index out of range");
-    Words[Idx / WordBits] |= Word(1) << (Idx % WordBits);
+    wordsData()[Idx / WordBits] |= Word(1) << (Idx % WordBits);
   }
 
   /// Sets all bits.
   void set() {
-    for (Word &W : Words)
-      W = ~Word(0);
+    Word *W = wordsData();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] = ~Word(0);
     clearExcessBits();
   }
 
   /// Clears bit \p Idx.
   void reset(unsigned Idx) {
     assert(Idx < NumBits && "bit index out of range");
-    Words[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
+    wordsData()[Idx / WordBits] &= ~(Word(1) << (Idx % WordBits));
   }
 
   /// Clears all bits.
   void reset() {
-    for (Word &W : Words)
-      W = 0;
+    Word *W = wordsData();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] = 0;
+  }
+
+  /// Complements every bit, respecting the tail-word invariant.
+  void flip() {
+    Word *W = wordsData();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] = ~W[I];
+    clearExcessBits();
   }
 
   /// Returns the value of bit \p Idx.
   bool test(unsigned Idx) const {
     assert(Idx < NumBits && "bit index out of range");
-    return (Words[Idx / WordBits] >> (Idx % WordBits)) & 1;
+    return (words()[Idx / WordBits] >> (Idx % WordBits)) & 1;
   }
 
   bool operator[](unsigned Idx) const { return test(Idx); }
 
   /// Returns true if any bit is set.
   bool any() const {
-    for (Word W : Words)
-      if (W)
+    const Word *W = words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      if (W[I])
         return true;
     return false;
   }
@@ -103,46 +169,60 @@ public:
   /// Number of set bits.
   unsigned count() const {
     unsigned N = 0;
-    for (Word W : Words)
-      N += __builtin_popcountll(W);
+    const Word *W = words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      N += __builtin_popcountll(W[I]);
     return N;
   }
 
   /// Set union: this |= RHS.
   BitVector &operator|=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (unsigned I = 0, E = Words.size(); I != E; ++I)
-      Words[I] |= RHS.Words[I];
+    Word *W = wordsData();
+    const Word *R = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] |= R[I];
     return *this;
   }
 
   /// Set intersection: this &= RHS.
   BitVector &operator&=(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (unsigned I = 0, E = Words.size(); I != E; ++I)
-      Words[I] &= RHS.Words[I];
+    Word *W = wordsData();
+    const Word *R = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] &= R[I];
     return *this;
   }
 
   /// Set difference: removes from this every bit set in \p RHS.
   BitVector &reset(const BitVector &RHS) {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (unsigned I = 0, E = Words.size(); I != E; ++I)
-      Words[I] &= ~RHS.Words[I];
+    Word *W = wordsData();
+    const Word *R = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      W[I] &= ~R[I];
     return *this;
   }
 
   bool operator==(const BitVector &RHS) const {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    return Words == RHS.Words;
+    const Word *A = words();
+    const Word *B = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      if (A[I] != B[I])
+        return false;
+    return true;
   }
   bool operator!=(const BitVector &RHS) const { return !(*this == RHS); }
 
   /// Returns true if this and \p RHS share any set bit.
   bool anyCommon(const BitVector &RHS) const {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (unsigned I = 0, E = Words.size(); I != E; ++I)
-      if (Words[I] & RHS.Words[I])
+    const Word *A = words();
+    const Word *B = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      if (A[I] & B[I])
         return true;
     return false;
   }
@@ -150,8 +230,10 @@ public:
   /// Returns true if every set bit of this is also set in \p RHS.
   bool isSubsetOf(const BitVector &RHS) const {
     assert(NumBits == RHS.NumBits && "size mismatch");
-    for (unsigned I = 0, E = Words.size(); I != E; ++I)
-      if (Words[I] & ~RHS.Words[I])
+    const Word *A = words();
+    const Word *B = RHS.words();
+    for (unsigned I = 0, E = wordCount(); I != E; ++I)
+      if (A[I] & ~B[I])
         return false;
     return true;
   }
@@ -164,14 +246,15 @@ public:
     unsigned Start = static_cast<unsigned>(Prev + 1);
     if (Start >= NumBits)
       return -1;
+    const Word *Ws = words();
     unsigned WordIdx = Start / WordBits;
-    Word W = Words[WordIdx] & (~Word(0) << (Start % WordBits));
+    Word W = Ws[WordIdx] & (~Word(0) << (Start % WordBits));
     while (true) {
       if (W)
         return static_cast<int>(WordIdx * WordBits + __builtin_ctzll(W));
-      if (++WordIdx == Words.size())
+      if (++WordIdx == wordCount())
         return -1;
-      W = Words[WordIdx];
+      W = Ws[WordIdx];
     }
   }
 
@@ -194,19 +277,50 @@ public:
   SetBitIterator begin() const { return SetBitIterator(*this, findFirst()); }
   SetBitIterator end() const { return SetBitIterator(*this, -1); }
 
+  /// Number of storage words (numWords(size())).
+  unsigned wordCount() const { return numWords(NumBits); }
+
+  /// Read-only view of the packed words. Bits beyond size() in the last
+  /// word are guaranteed zero (the tail-word invariant).
+  const Word *words() const { return Ext ? Ext : Owned.data(); }
+
+  /// Mutable view of the packed words, for word-granular writers.
+  /// Callers must keep the tail-word invariant: bits beyond size() stay
+  /// zero. On a borrowed vector this is the external row itself.
+  Word *wordsData() { return Ext ? Ext : Owned.data(); }
+
+  /// Returns the word-aligned sub-vector of \p SliceBits bits starting
+  /// at word \p FirstWord (bit FirstWord * 64). The slice's words must
+  /// all exist.
+  BitVector sliceWords(unsigned FirstWord, unsigned SliceBits) const {
+    assert(FirstWord + numWords(SliceBits) <= wordCount() &&
+           "slice out of range");
+    return fromWords(words() + FirstWord, SliceBits);
+  }
+
 private:
   static unsigned numWords(unsigned Bits) {
     return (Bits + WordBits - 1) / WordBits;
   }
 
+  /// Detaches a borrowed vector into owned storage.
+  void materialize() {
+    if (!Ext)
+      return;
+    Owned.assign(Ext, Ext + wordCount());
+    Ext = nullptr;
+  }
+
   /// Bits beyond NumBits in the last word must stay zero so that count()
   /// and operator== behave.
   void clearExcessBits() {
-    if (NumBits % WordBits != 0 && !Words.empty())
-      Words.back() &= ~Word(0) >> (WordBits - NumBits % WordBits);
+    if (NumBits % WordBits != 0)
+      wordsData()[NumBits / WordBits] &=
+          ~Word(0) >> (WordBits - NumBits % WordBits);
   }
 
-  std::vector<Word> Words;
+  std::vector<Word> Owned; ///< Owned storage; unused while borrowing.
+  Word *Ext = nullptr;     ///< Borrowed row; nullptr when owned.
   unsigned NumBits = 0;
 };
 

@@ -154,3 +154,108 @@ TEST(BitVector, RandomizedAgainstReferenceModel) {
     EXPECT_EQ(A.count(), RefA.size());
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Tail-word edge cases: sizes that are not a multiple of 64
+//===----------------------------------------------------------------------===//
+//
+// The sharded solver and the DataflowMatrix arena depend on the
+// tail-word invariant (bits beyond size() in the last word stay zero)
+// holding through every mutation path; these tests pin the awkward
+// sizes: 1, 63, 65, 127 and the word boundary itself.
+
+TEST(BitVector, FlipRespectsTailWord) {
+  for (unsigned Size : {1u, 63u, 64u, 65u, 127u, 130u}) {
+    BitVector V(Size);
+    V.flip();
+    EXPECT_EQ(V.count(), Size) << "size " << Size;
+    EXPECT_TRUE(V.all()) << "size " << Size;
+    V.flip();
+    EXPECT_TRUE(V.none()) << "size " << Size;
+    EXPECT_EQ(V, BitVector(Size)) << "size " << Size;
+  }
+}
+
+TEST(BitVector, ResizeShrinkClearsExcess) {
+  BitVector V(130, true);
+  V.resize(65);
+  EXPECT_EQ(V.size(), 65u);
+  EXPECT_EQ(V.count(), 65u);
+  // Regrow: the bits dropped by the shrink must not reappear.
+  V.resize(130, false);
+  EXPECT_EQ(V.count(), 65u);
+  EXPECT_EQ(V.findNext(64), -1);
+}
+
+TEST(BitVector, ResizeGrowFromPartialTail) {
+  // Growing an all-ones vector whose old tail word was partial must
+  // fill the fresh high bits of that word too.
+  BitVector V(3, true);
+  V.resize(65, true);
+  EXPECT_EQ(V.count(), 65u);
+  EXPECT_TRUE(V.all());
+  V.resize(64);
+  EXPECT_EQ(V.count(), 64u);
+  V.resize(1);
+  EXPECT_EQ(V.count(), 1u);
+}
+
+TEST(BitVector, SetAllThenShrinkGrowRoundTrip) {
+  BitVector V(100);
+  V.set();
+  EXPECT_EQ(V.count(), 100u);
+  V.flip();
+  EXPECT_TRUE(V.none());
+  V.set();
+  V.reset();
+  EXPECT_TRUE(V.none());
+}
+
+TEST(BitVector, FindNextNearTail) {
+  BitVector V(65);
+  V.set(64);
+  EXPECT_EQ(V.findFirst(), 64);
+  EXPECT_EQ(V.findNext(63), 64);
+  EXPECT_EQ(V.findNext(64), -1);
+  BitVector W(63);
+  W.set(62);
+  EXPECT_EQ(W.findNext(61), 62);
+  EXPECT_EQ(W.findNext(62), -1);
+}
+
+TEST(BitVector, WordsRoundTrip) {
+  for (unsigned Size : {1u, 63u, 64u, 65u, 200u}) {
+    BitVector V(Size);
+    for (unsigned I = 0; I < Size; I += 7)
+      V.set(I);
+    BitVector R = BitVector::fromWords(V.words(), V.size());
+    EXPECT_EQ(R, V) << "size " << Size;
+    EXPECT_EQ(R.wordCount(), (Size + 63) / 64) << "size " << Size;
+  }
+}
+
+TEST(BitVector, FromWordsMasksTail) {
+  // fromWords must clear source bits beyond the requested size.
+  BitVector::Word Src[2] = {~BitVector::Word(0), ~BitVector::Word(0)};
+  BitVector V = BitVector::fromWords(Src, 65);
+  EXPECT_EQ(V.count(), 65u);
+  BitVector W = BitVector::fromWords(Src, 63);
+  EXPECT_EQ(W.count(), 63u);
+}
+
+TEST(BitVector, SliceWords) {
+  BitVector V(200);
+  for (unsigned I = 0; I < 200; I += 3)
+    V.set(I);
+  // Slice covering words 1..2 (bits 64..191), 100 bits worth.
+  BitVector S = V.sliceWords(1, 100);
+  EXPECT_EQ(S.size(), 100u);
+  for (unsigned I = 0; I != 100; ++I)
+    EXPECT_EQ(S.test(I), V.test(64 + I)) << "bit " << I;
+  // A full-vector slice is the identity.
+  EXPECT_EQ(V.sliceWords(0, 200), V);
+  // A tail slice narrower than a word.
+  BitVector T = V.sliceWords(3, 8);
+  for (unsigned I = 0; I != 8; ++I)
+    EXPECT_EQ(T.test(I), V.test(192 + I)) << "bit " << I;
+}

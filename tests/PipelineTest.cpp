@@ -208,6 +208,29 @@ TEST(Pipeline, CacheKeySeparatesSourceFromOptions) {
   EXPECT_NE(pipelineCacheKey("p", A), pipelineCacheKey("p", B));
 }
 
+TEST(Pipeline, SolverShardsDoNotChangeOutputOrCacheKey) {
+  // The shard-invariance contract surfaces here twice: compiled output
+  // must be byte-identical for every shard count, and the cache key must
+  // not see the knob at all (so sharded and serial requests share one
+  // cache entry).
+  PipelineOptions Serial;
+  Serial.Audit = true;
+  PipelineResult Base = compilePipeline(kBranchSource, Serial);
+  ASSERT_TRUE(Base.ok()) << Base.Diags.renderText();
+  for (unsigned Shards : {1u, 2u, 7u, 64u}) {
+    PipelineOptions Opts = Serial;
+    Opts.SolverShards = Shards;
+    EXPECT_EQ(Opts.canonical(), Serial.canonical()) << "shards " << Shards;
+    EXPECT_EQ(pipelineCacheKey(kBranchSource, Opts),
+              pipelineCacheKey(kBranchSource, Serial))
+        << "shards " << Shards;
+    PipelineResult R = compilePipeline(kBranchSource, Opts);
+    EXPECT_EQ(R.Annotated, Base.Annotated) << "shards " << Shards;
+    EXPECT_EQ(R.Diags.renderJson(), Base.Diags.renderJson())
+        << "shards " << Shards;
+  }
+}
+
 TEST(Pipeline, CompileIsDeterministic) {
   PipelineOptions Opts;
   Opts.Audit = true;

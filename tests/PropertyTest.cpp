@@ -145,3 +145,88 @@ TEST_P(RandomPrograms, OptionCombinationsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms, ::testing::Range(1u, 31u));
+
+//===----------------------------------------------------------------------===//
+// Shard invariance and arena/classic differential
+//===----------------------------------------------------------------------===//
+//
+// 100 seeds x 2 goto probabilities = 200 random programs, each solved
+// for both problem directions (READ is BEFORE, WRITE is AFTER with jump
+// poisoning). Every GntResult field — the ten Figure 13 variables plus
+// both EAGER and LAZY placements — must be byte-identical across shard
+// counts and between the arena solver and the classic per-equation
+// oracle. This is the hard contract that lets PipelineOptions exclude
+// SolverShards from the service cache key.
+
+namespace {
+
+class ShardInvariance : public ::testing::TestWithParam<unsigned> {};
+
+/// The 20 dataflow variables of \p R in declaration order, by name.
+std::vector<std::pair<const char *, const std::vector<BitVector> *>>
+gntFields(const GntResult &R) {
+  std::vector<std::pair<const char *, const std::vector<BitVector> *>> Out;
+  forEachGntField(R, [&](const char *Name, const std::vector<BitVector> &V) {
+    Out.emplace_back(Name, &V);
+  });
+  return Out;
+}
+
+void expectResultsIdentical(const GntResult &Want, const GntResult &Got,
+                            const char *Problem, const std::string &How) {
+  auto A = gntFields(Want);
+  auto B = gntFields(Got);
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t F = 0; F != A.size(); ++F) {
+    ASSERT_EQ(A[F].second->size(), B[F].second->size())
+        << Problem << " " << A[F].first << " (" << How << ")";
+    for (std::size_t N = 0; N != A[F].second->size(); ++N)
+      EXPECT_TRUE((*A[F].second)[N] == (*B[F].second)[N])
+          << Problem << " " << A[F].first << " node " << N << " (" << How
+          << ")";
+  }
+}
+
+} // namespace
+
+/// Solving at any shard count reproduces the serial solve bit for bit.
+TEST_P(ShardInvariance, ShardedSolveMatchesSerial) {
+  for (double GotoProb : {0.1, 0.0}) {
+    auto B = buildProgram(makeProgram(GetParam(), 40, GotoProb));
+    ASSERT_TRUE(B.has_value());
+    CommPlan Plan = generateComm(B->Prog, B->G, B->Ifg);
+    ASSERT_TRUE(Plan.ReadRun.has_value());
+    ASSERT_TRUE(Plan.WriteRun.has_value());
+    unsigned Items = Plan.ReadProblem.UniverseSize;
+    for (unsigned Shards : {1u, 2u, 7u, std::max(Items, 1u)}) {
+      std::string How = "goto=" + std::to_string(GotoProb) +
+                        " shards=" + std::to_string(Shards);
+      GntRun R = runGiveNTake(B->Ifg, Plan.ReadProblem, Shards);
+      expectResultsIdentical(Plan.ReadRun->Result, R.Result, "READ", How);
+      GntRun W = runGiveNTake(B->Ifg, Plan.WriteProblem, Shards);
+      expectResultsIdentical(Plan.WriteRun->Result, W.Result, "WRITE", How);
+    }
+  }
+}
+
+/// The fused arena evaluator agrees with the classic one-equation-at-a-
+/// time evaluator on every field.
+TEST_P(ShardInvariance, ArenaMatchesClassicOracle) {
+  for (double GotoProb : {0.1, 0.0}) {
+    auto B = buildProgram(makeProgram(GetParam(), 40, GotoProb));
+    ASSERT_TRUE(B.has_value());
+    CommPlan Plan = generateComm(B->Prog, B->G, B->Ifg);
+    for (const std::optional<GntRun> *Slot : {&Plan.ReadRun, &Plan.WriteRun}) {
+      ASSERT_TRUE(Slot->has_value());
+      const GntRun &Run = **Slot;
+      GntResult Classic =
+          solveGiveNTakeClassic(Run.OrientedIfg, Run.OrientedProblem);
+      const char *Problem =
+          Run.OrientedProblem.Dir == Direction::Before ? "READ" : "WRITE";
+      expectResultsIdentical(Classic, Run.Result, Problem,
+                             "goto=" + std::to_string(GotoProb));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardInvariance, ::testing::Range(1u, 101u));

@@ -89,6 +89,47 @@ TEST(ServiceRequest, RejectsMalformedInput) {
       Error));
 }
 
+TEST(ServiceRequest, DecodesSolverShards) {
+  ServiceRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"source\":\"continue\\n\",\"options\":{\"solver_shards\":7}}", "l",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Opts.SolverShards, 7u);
+
+  // Out-of-range and non-integer values are rejected with a pointed
+  // message; booleans and strings are not silently coerced.
+  for (const char *Bad :
+       {"-1", "65537", "true", "\"7\"", "1.5"}) {
+    std::string Line = std::string("{\"source\":\"x\",\"options\":"
+                                   "{\"solver_shards\":") +
+                       Bad + "}}";
+    EXPECT_FALSE(parseServiceRequest(Line, "l", Req, Error)) << Bad;
+    EXPECT_NE(Error.find("solver_shards"), std::string::npos) << Bad;
+  }
+}
+
+TEST(BatchServer, SolverShardsShareOneCacheEntry) {
+  // Two requests differing only in shard count must compile once and
+  // hit the cache on the second, returning identical payloads.
+  BatchServer Server;
+  std::vector<std::string> Out = Server.run({
+      "{\"id\":\"serial\",\"source\":\"distribute x\\narray u\\n"
+      "do i = 1, n\\n  u(i) = x(i)\\nenddo\\n\"}",
+      "{\"id\":\"sharded\",\"source\":\"distribute x\\narray u\\n"
+      "do i = 1, n\\n  u(i) = x(i)\\nenddo\\n\",\"options\":"
+      "{\"solver_shards\":4}}",
+  });
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Server.metrics().CacheHits, 1u);
+  EXPECT_EQ(Server.metrics().CacheMisses, 1u);
+  // Same payload modulo the echoed id.
+  std::string A = Out[0].substr(Out[0].find("\"result\""));
+  std::string B = Out[1].substr(Out[1].find("\"result\""));
+  EXPECT_EQ(A, B);
+}
+
 TEST(ResultCache, LruEvictsOldest) {
   ResultCache Cache(2);
   Cache.insert(1, "one");

@@ -67,6 +67,9 @@ void usage(std::FILE *To) {
       "                    no free reads)\n"
       "  --no-hoist        disable zero-trip hoisting\n"
       "  --baseline B      use a baseline instead: naive | vectorized | lcm\n"
+      "  --solver-shards N solve the item universe in N word-aligned\n"
+      "                    shards in parallel (output is byte-identical\n"
+      "                    to the serial solve for every N)\n"
       "\n"
       "checking:\n"
       "  --verify          check C1/C3/O1 and exit nonzero on violations\n"
@@ -134,6 +137,21 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
         return false;
       }
       O.Pipe.Baseline = Argv[I];
+    } else if (A == "--solver-shards") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --solver-shards needs a value\n");
+        return false;
+      }
+      char *End = nullptr;
+      long long Shards = std::strtoll(Argv[I], &End, 10);
+      if (End == Argv[I] || *End != '\0' || Shards < 0 || Shards > 65536) {
+        std::fprintf(
+            stderr,
+            "gntc: --solver-shards needs an integer in [0, 65536], got %s\n",
+            Argv[I]);
+        return false;
+      }
+      O.Pipe.SolverShards = static_cast<unsigned>(Shards);
     } else if (A == "--help") {
       usage(stdout);
       Exit = 0;
