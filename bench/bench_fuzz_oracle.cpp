@@ -1,0 +1,125 @@
+//===- bench/bench_fuzz_oracle.cpp - Fuzzing oracle cost profile ------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-input cost of the fuzzer's layered oracle, and how the budget
+// splits across layers. The oracle is the fuzzer's inner loop — inputs
+// per second is the campaign's throughput — so the layer breakdown
+// (frontend/audit vs artifact differential vs trace simulation vs the
+// metamorphic pass) documents where a smoke run's 60-second budget goes
+// and which toggle to reach for when it regresses. Also measures the
+// end-to-end cost of minimizing one injected-fault repro, the path a
+// real finding takes before landing in tests/corpus/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/GiveNTake.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Oracle.h"
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+using namespace gnt;
+using namespace gnt::fuzz;
+
+namespace {
+
+/// One program per structure bucket: the oracle's cost is dominated by
+/// program shape (nesting, jump count, universe width), so the suite
+/// spans all of them rather than averaging one shape.
+std::vector<std::string> bucketSuite() {
+  std::vector<std::string> Suite;
+  for (unsigned Bucket = 0; Bucket != NumGenBuckets; ++Bucket)
+    Suite.push_back(AstPrinter().print(
+        generateRandomProgram(genConfigForBucket(Bucket, 1))));
+  return Suite;
+}
+
+/// Oracle throughput with a chosen layer configuration.
+void runSuite(benchmark::State &State, const OracleOptions &Opts) {
+  std::vector<std::string> Suite = bucketSuite();
+  for (auto _ : State)
+    for (const std::string &Source : Suite) {
+      OracleOutcome O = runOracle(Source, Opts);
+      benchmark::DoNotOptimize(O);
+    }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Suite.size()));
+}
+
+void BM_OracleFull(benchmark::State &State) {
+  runSuite(State, OracleOptions{});
+}
+
+void BM_OracleNoMetamorphic(benchmark::State &State) {
+  OracleOptions Opts;
+  Opts.Metamorphic = false;
+  runSuite(State, Opts);
+}
+
+void BM_OracleNoSimulate(benchmark::State &State) {
+  OracleOptions Opts;
+  Opts.Metamorphic = false;
+  Opts.Simulate = false;
+  runSuite(State, Opts);
+}
+
+void BM_OracleFrontendAndAuditOnly(benchmark::State &State) {
+  OracleOptions Opts;
+  Opts.Metamorphic = false;
+  Opts.Simulate = false;
+  Opts.Differential = false;
+  runSuite(State, Opts);
+}
+
+/// The finding path end to end: oracle detection of the injected
+/// fused-sweep fault plus class-preserving minimization of the repro.
+void BM_MinimizeInjectedFault(benchmark::State &State) {
+  const char *Padded = R"(
+distribute x, y
+array a, w, z
+do i = 1, n
+  w(i) = x(a(i))
+enddo
+do k = 1, n
+  z(k) = x(k) + y(k)
+enddo
+if (t(i1)) then
+else
+  w(1) = x(1) + 24
+endif
+)";
+  detail::InjectFusedSweepBug.store(true);
+  std::string Class = findingClass(runOracle(Padded).Findings.at(0).Kind);
+  for (auto _ : State) {
+    std::string Small = minimizeSource(
+        Padded,
+        [&](const std::string &Candidate) {
+          for (const OracleFinding &F : runOracle(Candidate).Findings)
+            if (findingClass(F.Kind) == Class)
+              return true;
+          return false;
+        },
+        400);
+    benchmark::DoNotOptimize(Small);
+  }
+  detail::InjectFusedSweepBug.store(false);
+}
+
+} // namespace
+
+BENCHMARK(BM_OracleFull)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleNoMetamorphic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleNoSimulate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OracleFrontendAndAuditOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MinimizeInjectedFault)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -60,6 +60,8 @@
 
 using namespace gnt;
 
+std::atomic<bool> gnt::detail::InjectFusedSweepBug{false};
+
 //===----------------------------------------------------------------------===//
 // Classic evaluator (pre-arena differential oracle and bench baseline)
 //===----------------------------------------------------------------------===//
@@ -576,14 +578,17 @@ inline void fuseS3(unsigned W, Word *__restrict RGivenIn,
 /// The fused S4 step (Eq. 14-15). \p RResOut arrives holding the
 /// successor union; returns the OR over the final RES_out words so the
 /// caller can assert the no-critical-edge property.
-inline Word fuseS4(unsigned W, const Word *__restrict RGiven,
+inline Word fuseS4(unsigned W, bool FlipEq14, const Word *__restrict RGiven,
                    const Word *__restrict RGivenIn,
                    const Word *__restrict RGivenOut, Word *__restrict RResIn,
                    Word *__restrict RResOut) {
   Word AnyOut = 0;
   for (unsigned K = 0; K != W; ++K) {
-    // Eq. 14: RES_in(n) = GIVEN(n) - GIVEN_in(n)
-    RResIn[K] = RGiven[K] & ~RGivenIn[K];
+    // Eq. 14: RES_in(n) = GIVEN(n) - GIVEN_in(n). FlipEq14 is the
+    // detail::InjectFusedSweepBug fault (GIVEN n GIVEN_in), false on
+    // every production path.
+    RResIn[K] = FlipEq14 ? (RGiven[K] & RGivenIn[K])
+                         : (RGiven[K] & ~RGivenIn[K]);
 
     // Eq. 15: RES_out(n) = union_{s in SUCCS^FJ} GIVEN_in(s)
     //   - GIVEN_out(n)
@@ -614,6 +619,8 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   if (W == 0)
     return; // Empty window: nothing to compute.
   const std::vector<NodeId> &Pre = Ifg.preorder();
+  const bool FlipEq14 =
+      detail::InjectFusedSweepBug.load(std::memory_order_relaxed);
 
   auto row = [&](ArenaField F, NodeId Id) -> Word * {
     return M.row(static_cast<unsigned>(F) * N + Id) + WordOff;
@@ -841,7 +848,8 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       // Eq. 15's successor union lands straight in the RES_out row;
       // fuseS4 finishes Eq. 14-15.
       gatherUnion(RResOut, FjSuccGivenIn, W);
-      Word AnyOut = fuseS4(W, RGiven, RGivenIn, RGivenOut, RResIn, RResOut);
+      Word AnyOut =
+          fuseS4(W, FlipEq14, RGiven, RGivenIn, RGivenOut, RResIn, RResOut);
       (void)AnyOut;
 
       // The paper's no-critical-edge argument (Section 4.5) implies exit

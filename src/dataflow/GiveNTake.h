@@ -31,10 +31,22 @@
 #include "interval/IntervalFlowGraph.h"
 #include "support/BitVector.h"
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 namespace gnt {
+
+namespace detail {
+/// Test-only fault injection: when set, the arena evaluator's fused S4
+/// sweep computes Eq. 14 as GIVEN n GIVEN_in instead of
+/// GIVEN - GIVEN_in. The classic per-equation solver is unaffected, so
+/// the fuzzer's differential oracle must flag every program with a
+/// nonempty placement. Exists solely so gnt-fuzz --inject-bug and
+/// FuzzTest can prove the harness catches and minimizes a real solver
+/// bug; never set on a production path.
+extern std::atomic<bool> InjectFusedSweepBug;
+} // namespace detail
 
 /// Whether items must be produced before or after they are consumed.
 enum class Direction { Before, After };

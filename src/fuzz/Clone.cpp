@@ -1,0 +1,120 @@
+//===- fuzz/Clone.cpp - Deep AST cloning for the fuzzer ---------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Clone.h"
+
+#include "support/Support.h"
+
+using namespace gnt;
+using namespace gnt::fuzz;
+
+ExprPtr gnt::fuzz::cloneExpr(const Expr *E, const ArrayRenameMap &Rename) {
+  switch (E->getKind()) {
+  case Expr::Kind::IntLit:
+    return std::make_unique<IntLitExpr>(cast<IntLitExpr>(E)->getValue(),
+                                        E->getLoc());
+  case Expr::Kind::Var:
+    return std::make_unique<VarExpr>(cast<VarExpr>(E)->getName(), E->getLoc());
+  case Expr::Kind::ArrayRef: {
+    const auto *A = cast<ArrayRefExpr>(E);
+    std::string Name = A->getArray();
+    if (auto It = Rename.find(Name); It != Rename.end())
+      Name = It->second;
+    return std::make_unique<ArrayRefExpr>(
+        std::move(Name), cloneExpr(A->getSubscript(), Rename), E->getLoc());
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return std::make_unique<BinaryExpr>(B->getOp(),
+                                        cloneExpr(B->getLHS(), Rename),
+                                        cloneExpr(B->getRHS(), Rename),
+                                        E->getLoc());
+  }
+  case Expr::Kind::Unary:
+    return std::make_unique<UnaryExpr>(
+        cloneExpr(cast<UnaryExpr>(E)->getOperand(), Rename), E->getLoc());
+  case Expr::Kind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    std::vector<ExprPtr> Args;
+    Args.reserve(C->getArgs().size());
+    for (const ExprPtr &A : C->getArgs())
+      Args.push_back(cloneExpr(A.get(), Rename));
+    return std::make_unique<CallExpr>(C->getCallee(), std::move(Args),
+                                      E->getLoc());
+  }
+  }
+  gntUnreachable("covered switch");
+}
+
+StmtPtr gnt::fuzz::cloneStmt(const Stmt *S, const ArrayRenameMap &Rename) {
+  StmtPtr Out;
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Out = std::make_unique<AssignStmt>(cloneExpr(A->getLHS(), Rename),
+                                       cloneExpr(A->getRHS(), Rename),
+                                       S->getLoc());
+    break;
+  }
+  case Stmt::Kind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    Out = std::make_unique<DoStmt>(D->getIndexVar(),
+                                   cloneExpr(D->getLo(), Rename),
+                                   cloneExpr(D->getHi(), Rename),
+                                   cloneStmts(D->getBody(), Rename),
+                                   S->getLoc());
+    break;
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    Out = std::make_unique<IfStmt>(cloneExpr(If->getCond(), Rename),
+                                   cloneStmts(If->getThen(), Rename),
+                                   cloneStmts(If->getElse(), Rename),
+                                   S->getLoc());
+    break;
+  }
+  case Stmt::Kind::Goto:
+    Out = std::make_unique<GotoStmt>(cast<GotoStmt>(S)->getTarget(),
+                                     S->getLoc());
+    break;
+  case Stmt::Kind::Continue:
+    Out = std::make_unique<ContinueStmt>(S->getLoc());
+    break;
+  }
+  Out->setLabel(S->getLabel());
+  return Out;
+}
+
+StmtList gnt::fuzz::cloneStmts(const StmtList &List,
+                               const ArrayRenameMap &Rename) {
+  StmtList Out;
+  Out.reserve(List.size());
+  for (const StmtPtr &S : List)
+    Out.push_back(cloneStmt(S.get(), Rename));
+  return Out;
+}
+
+Program gnt::fuzz::cloneProgram(const Program &P,
+                                const ArrayRenameMap &Rename) {
+  Program Out;
+  for (const auto &[Name, Info] : P.getArrays()) {
+    std::string N = Name;
+    if (auto It = Rename.find(N); It != Rename.end())
+      N = It->second;
+    Out.declareArray(N, Info.Distributed);
+  }
+  Out.getBody() = cloneStmts(P.getBody(), Rename);
+  return Out;
+}
+
+Program gnt::fuzz::rebuildProgram(StmtList Body,
+                                  const std::map<std::string, bool> &Arrays) {
+  Program Out;
+  for (const auto &[Name, Distributed] : Arrays)
+    Out.declareArray(Name, Distributed);
+  Out.getBody() = std::move(Body);
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===- fuzz/Clone.h - Deep AST cloning for the fuzzer -----------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-copy helpers for FMini ASTs. The AST itself is move-only (every
+/// node owns its children through unique_ptr), which is right for the
+/// compiler but wrong for a fuzzer that wants to duplicate statements,
+/// crossbreed two programs, and rename arrays without mutating the
+/// original. Cloning takes an optional array rename map, which the
+/// metamorphic rename-items transform and the crossover operator use to
+/// rewrite references while copying.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_CLONE_H
+#define GNT_FUZZ_CLONE_H
+
+#include "ir/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace gnt::fuzz {
+
+/// Old array name -> new array name. Names absent from the map are
+/// copied unchanged.
+using ArrayRenameMap = std::map<std::string, std::string>;
+
+/// Deep copies \p E, renaming array references through \p Rename.
+ExprPtr cloneExpr(const Expr *E, const ArrayRenameMap &Rename = {});
+
+/// Deep copies \p S (including nested bodies and labels).
+StmtPtr cloneStmt(const Stmt *S, const ArrayRenameMap &Rename = {});
+
+/// Deep copies every statement of \p List.
+StmtList cloneStmts(const StmtList &List, const ArrayRenameMap &Rename = {});
+
+/// Deep copies a whole program, declarations included.
+Program cloneProgram(const Program &P, const ArrayRenameMap &Rename = {});
+
+/// Builds a program from \p Body and an explicit declaration set
+/// (name -> distributed?). Program has no API to undeclare an array, so
+/// transforms that drop or demote declarations rebuild through this.
+Program rebuildProgram(StmtList Body,
+                       const std::map<std::string, bool> &Arrays);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_CLONE_H

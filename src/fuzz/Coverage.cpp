@@ -1,0 +1,139 @@
+//===- fuzz/Coverage.cpp - Structural coverage signature --------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Coverage.h"
+
+#include "support/Hashing.h"
+#include "support/Support.h"
+
+#include <algorithm>
+
+using namespace gnt;
+using namespace gnt::fuzz;
+
+namespace {
+
+unsigned log2Bucket(unsigned long long N) {
+  unsigned B = 0;
+  while (N > 0) {
+    ++B;
+    N >>= 1;
+  }
+  return B; // 0 for 0, 1 for 1, 2 for 2-3, 3 for 4-7, ...
+}
+
+} // namespace
+
+std::uint64_t CoverageFeatures::key() const {
+  std::string S;
+  for (unsigned B : EdgeBuckets)
+    S += itostr(B) + ".";
+  S += "|" + itostr(MaxIntervalDepth);
+  S += "|" + itostr(UniverseBucket);
+  S += "|" + itostr(LoopBucket) + "." + itostr(BranchBucket) + "." +
+       itostr(GotoBucket);
+  S += "|";
+  S += HasElse ? 'e' : '-';
+  S += HasZeroTripConst ? 'z' : '-';
+  S += HasIndirect ? 'i' : '-';
+  S += HasWideUniverse ? 'w' : '-';
+  return fnv1a(S);
+}
+
+std::string CoverageFeatures::describe() const {
+  std::string S = "edges=E" + itostr(EdgeBuckets[0]) + ".C" +
+                  itostr(EdgeBuckets[1]) + ".J" + itostr(EdgeBuckets[2]) +
+                  ".F" + itostr(EdgeBuckets[3]) + ".S" +
+                  itostr(EdgeBuckets[4]);
+  S += " depth=" + itostr(MaxIntervalDepth);
+  S += " universe=" + itostr(UniverseBucket);
+  S += " do=" + itostr(LoopBucket) + " if=" + itostr(BranchBucket) +
+       " goto=" + itostr(GotoBucket);
+  S += " flags=";
+  S += HasElse ? 'e' : '-';
+  S += HasZeroTripConst ? 'z' : '-';
+  S += HasIndirect ? 'i' : '-';
+  S += HasWideUniverse ? 'w' : '-';
+  return S;
+}
+
+CoverageFeatures gnt::fuzz::coverageFeatures(const Program &P,
+                                             const IntervalFlowGraph &Ifg,
+                                             unsigned UniverseSize) {
+  CoverageFeatures F;
+
+  unsigned long long EdgeCounts[5] = {0, 0, 0, 0, 0};
+  for (NodeId Id = 0; Id != Ifg.size(); ++Id) {
+    F.MaxIntervalDepth = std::max(F.MaxIntervalDepth, Ifg.level(Id));
+    for (const IfgEdge &E : Ifg.succs(Id))
+      ++EdgeCounts[static_cast<unsigned>(E.Type)];
+  }
+  for (unsigned I = 0; I != 5; ++I)
+    F.EdgeBuckets[I] = log2Bucket(EdgeCounts[I]);
+
+  F.UniverseBucket = log2Bucket(UniverseSize);
+  F.HasWideUniverse = UniverseSize > 64;
+
+  unsigned long long Loops = 0, Branches = 0, Gotos = 0;
+  forEachStmt(P.getBody(), [&](const Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Do: {
+      ++Loops;
+      const auto *D = cast<DoStmt>(S);
+      const auto *Lo = dyn_cast<IntLitExpr>(D->getLo());
+      const auto *Hi = dyn_cast<IntLitExpr>(D->getHi());
+      if (Lo && Hi && Hi->getValue() < Lo->getValue())
+        F.HasZeroTripConst = true;
+      break;
+    }
+    case Stmt::Kind::If: {
+      ++Branches;
+      F.HasElse |= cast<IfStmt>(S)->hasElse();
+      break;
+    }
+    case Stmt::Kind::Goto:
+      ++Gotos;
+      break;
+    default:
+      break;
+    }
+  });
+  F.LoopBucket = log2Bucket(Loops);
+  F.BranchBucket = log2Bucket(Branches);
+  F.GotoBucket = log2Bucket(Gotos);
+
+  // Indirect subscript: an array reference whose subscript itself
+  // references an array, e.g. x(a(i)).
+  forEachStmt(P.getBody(), [&](const Stmt *S) {
+    auto scanExpr = [&](const Expr *Root) {
+      if (!Root)
+        return;
+      forEachExpr(Root, [&](const Expr *E) {
+        if (const auto *A = dyn_cast<ArrayRefExpr>(E))
+          forEachExpr(A->getSubscript(), [&](const Expr *Sub) {
+            F.HasIndirect |= Sub->getKind() == Expr::Kind::ArrayRef;
+          });
+      });
+    };
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      scanExpr(cast<AssignStmt>(S)->getLHS());
+      scanExpr(cast<AssignStmt>(S)->getRHS());
+      break;
+    case Stmt::Kind::Do:
+      scanExpr(cast<DoStmt>(S)->getLo());
+      scanExpr(cast<DoStmt>(S)->getHi());
+      break;
+    case Stmt::Kind::If:
+      scanExpr(cast<IfStmt>(S)->getCond());
+      break;
+    default:
+      break;
+    }
+  });
+
+  return F;
+}

@@ -1,0 +1,63 @@
+//===- fuzz/Coverage.h - Structural coverage signature ----------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cheap structural coverage signal that guides the mutation
+/// fuzzer. Instead of instrumenting the solver, we bucket the shape of
+/// the *problem* the solver is handed: which interval-flow edge classes
+/// appear (and how many, log-bucketed), how deep the interval nesting
+/// goes, how wide the item universe is, and which syntactic features
+/// (gotos, else arms, zero-trip constant loops, indirect subscripts)
+/// occur. Two inputs with the same signature exercise the same solver
+/// paths to a first approximation; a mutant with a new signature joins
+/// the live corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_COVERAGE_H
+#define GNT_FUZZ_COVERAGE_H
+
+#include "interval/IntervalFlowGraph.h"
+#include "ir/Ast.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gnt::fuzz {
+
+/// The individual coverage features, exposed for tests and the
+/// distiller's human-readable provenance headers.
+struct CoverageFeatures {
+  /// Log2 bucket of the edge count per EdgeType (Entry, Cycle, Jump,
+  /// Forward, Synthetic).
+  unsigned EdgeBuckets[5] = {0, 0, 0, 0, 0};
+  unsigned MaxIntervalDepth = 0;
+  /// Log2 bucket of the item universe width.
+  unsigned UniverseBucket = 0;
+  unsigned LoopBucket = 0;    ///< Log2 bucket of DO count.
+  unsigned BranchBucket = 0;  ///< Log2 bucket of IF count.
+  unsigned GotoBucket = 0;    ///< Log2 bucket of GOTO count.
+  bool HasElse = false;
+  bool HasZeroTripConst = false; ///< A constant-bound loop with hi < lo.
+  bool HasIndirect = false;      ///< An indirect subscript a(i) inside x(...).
+  bool HasWideUniverse = false;  ///< Universe spills past one 64-bit word.
+
+  /// Stable FNV hash of the whole tuple.
+  std::uint64_t key() const;
+
+  /// "edges=E2.C1.J0.F3.S0 depth=2 universe=3 ..." for logs and
+  /// provenance headers.
+  std::string describe() const;
+};
+
+/// Extracts the signature of one frontend-valid input.
+CoverageFeatures coverageFeatures(const Program &P,
+                                  const IntervalFlowGraph &Ifg,
+                                  unsigned UniverseSize);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_COVERAGE_H

@@ -1,0 +1,227 @@
+//===- fuzz/Fuzzer.cpp - Coverage-guided metamorphic fuzzer -----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Minimizer.h"
+#include "fuzz/Mutator.h"
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+#include "support/Hashing.h"
+#include "support/Support.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <set>
+#include <sstream>
+
+using namespace gnt;
+using namespace gnt::fuzz;
+
+namespace {
+
+unsigned pick(std::mt19937 &Rng, unsigned N) {
+  return static_cast<unsigned>(Rng() % N);
+}
+
+bool chance(std::mt19937 &Rng, double P) {
+  return (Rng() >> 8) * (1.0 / 16777216.0) < P;
+}
+
+std::vector<std::string> loadSeedFiles(const std::string &Dir) {
+  std::vector<std::string> Sources;
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(Dir, Ec)) {
+    if (Entry.path().extension() == ".fm")
+      Paths.push_back(Entry.path());
+  }
+  std::sort(Paths.begin(), Paths.end()); // Deterministic seed order.
+  for (const auto &Path : Paths) {
+    std::ifstream In(Path);
+    if (!In)
+      continue;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Sources.push_back(Buf.str());
+  }
+  return Sources;
+}
+
+std::string hex64(std::uint64_t V) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[static_cast<std::size_t>(I)] = Digits[V & 0xF];
+    V >>= 4;
+  }
+  return S;
+}
+
+std::string sanitizeForFilename(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += (std::isalnum(static_cast<unsigned char>(C)) || C == '-')
+               ? C
+               : '-';
+  return Out;
+}
+
+} // namespace
+
+std::string gnt::fuzz::provenanceHeader(const std::string &Tag,
+                                        unsigned Seed,
+                                        const CoverageFeatures &Features) {
+  return "! gnt-fuzz: " + Tag + " seed=" + itostr(Seed) + " " +
+         Features.describe() + "\n";
+}
+
+std::string gnt::fuzz::distillProgram(const std::string &Source,
+                                      unsigned Budget) {
+  OracleOutcome Base = runOracle(Source);
+  if (!Base.clean() || !Base.WerrorClean)
+    return Source;
+  std::uint64_t Key = Base.CoverageKey;
+  return minimizeSource(
+      Source,
+      [&](const std::string &Candidate) {
+        OracleOutcome O = runOracle(Candidate);
+        return O.clean() && O.WerrorClean && O.CoverageKey == Key;
+      },
+      Budget);
+}
+
+FuzzReport gnt::fuzz::runFuzzer(const FuzzOptions &Opts) {
+  FuzzReport Report;
+  std::mt19937 Rng(Opts.Seed);
+  auto Start = std::chrono::steady_clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+
+  struct CorpusEntry {
+    std::string Source;
+    std::uint64_t CoverageKey;
+  };
+  std::vector<CorpusEntry> Corpus;
+  std::set<std::uint64_t> SeenKeys;
+  std::set<std::string> ReportedClasses;
+
+  auto HandleFinding = [&](const std::string &Source,
+                           const OracleOutcome &Outcome) {
+    const OracleFinding &First = Outcome.Findings.front();
+    std::string Class = findingClass(First.Kind);
+    if (!ReportedClasses.insert(Class).second)
+      return; // Already minimized an instance of this class.
+    if (Opts.Verbose)
+      std::fprintf(stderr, "gnt-fuzz: FINDING %s — minimizing...\n",
+                   First.Kind.c_str());
+    std::string Minimized = minimizeSource(
+        Source,
+        [&](const std::string &Candidate) {
+          OracleOutcome O = runOracle(Candidate, Opts.Oracle);
+          for (const OracleFinding &F : O.Findings)
+            if (findingClass(F.Kind) == Class)
+              return true;
+          return false;
+        },
+        Opts.MinimizeBudget);
+
+    FuzzFinding Out;
+    Out.Class = Class;
+    Out.Kind = First.Kind;
+    Out.Detail = First.Detail;
+    Out.Source = Source;
+    Out.Minimized = Minimized;
+    if (!Opts.OutDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Opts.OutDir, Ec);
+      OracleOutcome MinOut = runOracle(Minimized, Opts.Oracle);
+      std::string Name = "fuzz-" + sanitizeForFilename(Class) + "-" +
+                         hex64(fnv1a(Minimized)).substr(8) + ".fm";
+      std::string Path = Opts.OutDir + "/" + Name;
+      std::ofstream File(Path);
+      if (File) {
+        File << provenanceHeader(Class, Opts.Seed, MinOut.Features)
+             << Minimized;
+        Out.Path = Path;
+      }
+    }
+    Report.Findings.push_back(std::move(Out));
+  };
+
+  auto Execute = [&](const std::string &Source) {
+    ++Report.Executed;
+    OracleOutcome Outcome = runOracle(Source, Opts.Oracle);
+    if (!Outcome.Valid)
+      return;
+    ++Report.Valid;
+    if (SeenKeys.insert(Outcome.CoverageKey).second) {
+      ++Report.Novel;
+      Corpus.push_back({Source, Outcome.CoverageKey});
+    }
+    if (!Outcome.Findings.empty())
+      HandleFinding(Source, Outcome);
+  };
+
+  // Seed round: on-disk corpus plus generated programs across every
+  // structure bucket.
+  std::vector<std::string> Seeds;
+  if (!Opts.CorpusDir.empty())
+    Seeds = loadSeedFiles(Opts.CorpusDir);
+  for (unsigned Bucket = 0; Bucket != NumGenBuckets; ++Bucket)
+    for (unsigned K = 0; K != 2; ++K) {
+      GenConfig C = genConfigForBucket(Bucket, Opts.Seed + 17 * K);
+      Seeds.push_back(AstPrinter().print(generateRandomProgram(C)));
+    }
+  Report.SeedInputs = Seeds.size();
+  for (const std::string &S : Seeds) {
+    if (Report.Executed >= Opts.MaxInputs ||
+        (Opts.MaxSeconds > 0 && Elapsed() >= Opts.MaxSeconds))
+      break;
+    Execute(S);
+    if (Opts.StopOnFinding && !Report.Findings.empty())
+      break;
+  }
+
+  // Mutation rounds.
+  while (Report.Executed < Opts.MaxInputs &&
+         !(Opts.MaxSeconds > 0 && Elapsed() >= Opts.MaxSeconds) &&
+         !(Opts.StopOnFinding && !Report.Findings.empty())) {
+    if (Corpus.empty())
+      break; // Every seed was invalid; nothing to mutate.
+    const std::string &Parent =
+        Corpus[pick(Rng, static_cast<unsigned>(Corpus.size()))].Source;
+    std::string Child;
+    if (Corpus.size() >= 2 && chance(Rng, 0.2)) {
+      const std::string &Other =
+          Corpus[pick(Rng, static_cast<unsigned>(Corpus.size()))].Source;
+      Child = crossoverSources(Parent, Other, Rng);
+    } else {
+      Child = mutateSource(Parent, Rng);
+    }
+    if (Child.empty())
+      continue;
+    Execute(Child);
+    if (Opts.Verbose && Report.Executed % 100 == 0)
+      std::fprintf(stderr,
+                   "gnt-fuzz: %llu executed, %llu valid, %llu novel, "
+                   "%zu findings (%.1fs)\n",
+                   Report.Executed, Report.Valid, Report.Novel,
+                   Report.Findings.size(), Elapsed());
+  }
+
+  Report.CorpusSize = static_cast<unsigned>(Corpus.size());
+  return Report;
+}

@@ -1,0 +1,93 @@
+//===- fuzz/Fuzzer.h - Coverage-guided metamorphic fuzzer -------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-process fuzzing loop behind the `gnt-fuzz` tool. Seeds come
+/// from an on-disk corpus plus gen/RandomProgram across the structure
+/// buckets; each iteration mutates or crossbreeds a live-corpus parent,
+/// runs the full oracle stack (fuzz/Oracle.h) over the mutant, keeps
+/// mutants that reach a new structural-coverage signature, and on any
+/// finding shrinks the input with the delta-debugging minimizer and
+/// writes the repro (with a provenance header) into the output
+/// directory. The whole loop is deterministic in --seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_FUZZER_H
+#define GNT_FUZZ_FUZZER_H
+
+#include "fuzz/Oracle.h"
+
+#include <string>
+#include <vector>
+
+namespace gnt::fuzz {
+
+struct FuzzOptions {
+  /// Directory of seed `.fm` programs (may be empty or missing).
+  std::string CorpusDir;
+
+  /// Where minimized repros are written; empty disables writing.
+  std::string OutDir;
+
+  unsigned Seed = 1;
+
+  /// Stop after this many oracle-checked inputs.
+  unsigned long long MaxInputs = 500;
+
+  /// Stop after this many seconds (0 = no time limit).
+  double MaxSeconds = 0;
+
+  /// Predicate-evaluation budget per minimization.
+  unsigned MinimizeBudget = 1500;
+
+  /// Stop the campaign at the first finding (CI smoke mode).
+  bool StopOnFinding = false;
+
+  OracleOptions Oracle;
+
+  /// Progress lines to stderr.
+  bool Verbose = false;
+};
+
+struct FuzzFinding {
+  std::string Class;     ///< findingClass() of the first finding.
+  std::string Kind;      ///< Full kind of the first finding.
+  std::string Detail;
+  std::string Source;    ///< The original failing input.
+  std::string Minimized; ///< The shrunk repro.
+  std::string Path;      ///< File the repro was written to ("" if none).
+};
+
+struct FuzzReport {
+  unsigned long long Executed = 0; ///< Inputs run through the oracle.
+  unsigned long long Valid = 0;    ///< Inputs the frontend accepted.
+  unsigned long long Novel = 0;    ///< Inputs with a new coverage key.
+  unsigned long long SeedInputs = 0;
+  unsigned CorpusSize = 0;         ///< Live in-memory corpus at exit.
+  std::vector<FuzzFinding> Findings; ///< One per distinct finding class.
+
+  bool clean() const { return Findings.empty(); }
+};
+
+/// Runs one fuzzing campaign.
+FuzzReport runFuzzer(const FuzzOptions &Opts);
+
+/// Shrinks a *clean* program while preserving its coverage signature —
+/// the path by which interesting fuzzer discoveries become small
+/// checked-in corpus seeds. Returns the input unchanged if it is not
+/// clean under the oracle.
+std::string distillProgram(const std::string &Source,
+                           unsigned Budget = 1500);
+
+/// The one-line provenance header (see tests/corpus/README.md):
+/// `! gnt-fuzz: <tag> seed=<seed> <coverage summary>`.
+std::string provenanceHeader(const std::string &Tag, unsigned Seed,
+                             const CoverageFeatures &Features);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_FUZZER_H

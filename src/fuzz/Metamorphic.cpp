@@ -1,0 +1,240 @@
+//===- fuzz/Metamorphic.cpp - Semantics-preserving transforms ---------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Metamorphic.h"
+
+#include "frontend/Parser.h"
+#include "fuzz/Clone.h"
+#include "ir/AstBuilder.h"
+#include "ir/AstPrinter.h"
+#include "support/Support.h"
+
+#include <set>
+
+using namespace gnt;
+using namespace gnt::build;
+using namespace gnt::fuzz;
+
+namespace {
+
+unsigned pick(std::mt19937 &Rng, unsigned N) {
+  return static_cast<unsigned>(Rng() % N);
+}
+
+void gatherListsFrom(StmtList &L, std::vector<StmtList *> &Out) {
+  Out.push_back(&L);
+  for (StmtPtr &S : L) {
+    if (auto *D = dyn_cast<DoStmt>(S.get()))
+      gatherListsFrom(D->getBodyRef(), Out);
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      gatherListsFrom(If->getThenRef(), Out);
+      gatherListsFrom(If->getElseRef(), Out);
+    }
+  }
+}
+
+std::vector<StmtList *> gatherLists(Program &P) {
+  std::vector<StmtList *> Out;
+  gatherListsFrom(P.getBody(), Out);
+  return Out;
+}
+
+/// A random insertion position in \p L that is not directly after a
+/// goto — a statement there would be unreachable and the CFG builder
+/// rejects the variant.
+unsigned insertPos(std::mt19937 &Rng, const StmtList &L) {
+  std::vector<unsigned> Positions;
+  for (unsigned I = 0; I <= L.size(); ++I)
+    if (I == 0 || L[I - 1]->getKind() != Stmt::Kind::Goto)
+      Positions.push_back(I);
+  return Positions[pick(Rng, static_cast<unsigned>(Positions.size()))];
+}
+
+bool isStraightLine(const Stmt *S) {
+  return S->getLabel() == 0 && (S->getKind() == Stmt::Kind::Assign ||
+                                S->getKind() == Stmt::Kind::Continue);
+}
+
+void arrayNamesOf(const Stmt *S, std::set<std::string> &Out) {
+  if (const auto *A = dyn_cast<AssignStmt>(S)) {
+    for (const Expr *Root : {A->getLHS(), A->getRHS()})
+      forEachExpr(Root, [&](const Expr *E) {
+        if (const auto *Ref = dyn_cast<ArrayRefExpr>(E))
+          Out.insert(Ref->getArray());
+      });
+  }
+}
+
+MetaVariant splitForwardEdge(Program &P, std::mt19937 &Rng) {
+  std::vector<StmtList *> Lists = gatherLists(P);
+  StmtList *L = Lists[pick(Rng, Lists.size())];
+  L->insert(L->begin() + insertPos(Rng, *L), cont());
+  return {true, MetaTransform::SplitForwardEdge, AstPrinter().print(P)};
+}
+
+MetaVariant cloneBlockIfElse(Program &P, std::mt19937 &Rng) {
+  // Sites: maximal-start positions of straight-line runs.
+  struct Site {
+    StmtList *List;
+    unsigned Start;
+    unsigned MaxLen;
+  };
+  std::vector<Site> Sites;
+  for (StmtList *L : gatherLists(P))
+    for (unsigned I = 0; I != L->size(); ++I)
+      if (isStraightLine((*L)[I].get())) {
+        unsigned Len = 0;
+        while (I + Len != L->size() && isStraightLine((*L)[I + Len].get()))
+          ++Len;
+        Sites.push_back({L, I, Len});
+      }
+  if (Sites.empty())
+    return {};
+  Site &S = Sites[pick(Rng, Sites.size())];
+  unsigned Len = 1 + pick(Rng, std::min(3u, S.MaxLen));
+  StmtList Then;
+  for (unsigned I = S.Start; I != S.Start + Len; ++I)
+    Then.push_back(std::move((*S.List)[I]));
+  StmtList Else = cloneStmts(Then);
+  S.List->erase(S.List->begin() + S.Start,
+                S.List->begin() + S.Start + Len);
+  // `1 <= 2` evaluates statically: the simulator takes the then-arm
+  // without drawing a branch coin, so the RNG streams stay aligned.
+  S.List->insert(S.List->begin() + S.Start,
+                 ifThen(bin(BinaryExpr::Op::Le, lit(1), lit(2)),
+                        std::move(Then), std::move(Else)));
+  return {true, MetaTransform::CloneBlockIfElse, AstPrinter().print(P)};
+}
+
+MetaVariant insertDeadStmt(Program &P, std::mt19937 &Rng) {
+  std::string Name = "fzd";
+  while (P.getArrays().count(Name))
+    Name += "d";
+  P.declareArray(Name, false);
+  std::vector<StmtList *> Lists = gatherLists(P);
+  StmtList *L = Lists[pick(Rng, Lists.size())];
+  L->insert(L->begin() + insertPos(Rng, *L),
+            assign(aref(Name, lit(3)), lit(7)));
+  return {true, MetaTransform::InsertDeadStmt, AstPrinter().print(P)};
+}
+
+MetaVariant renameItems(Program &P, std::mt19937 &Rng) {
+  std::vector<std::string> Dist;
+  for (const auto &[Name, Info] : P.getArrays())
+    if (Info.Distributed)
+      Dist.push_back(Name);
+  if (Dist.empty())
+    return {};
+  const std::string &Old = Dist[pick(Rng, Dist.size())];
+  std::string New = Old + "r";
+  while (P.getArrays().count(New))
+    New += "r";
+  ArrayRenameMap Rename;
+  Rename[Old] = New;
+  Program Renamed = cloneProgram(P, Rename);
+  return {true, MetaTransform::RenameItems, AstPrinter().print(Renamed)};
+}
+
+MetaVariant permuteIndependent(Program &P, std::mt19937 &Rng) {
+  struct Site {
+    StmtList *List;
+    unsigned I;
+  };
+  std::vector<Site> Sites;
+  for (StmtList *L : gatherLists(P))
+    for (unsigned I = 0; I + 1 < L->size(); ++I) {
+      Stmt *A = (*L)[I].get(), *B = (*L)[I + 1].get();
+      if (A->getKind() != Stmt::Kind::Assign ||
+          B->getKind() != Stmt::Kind::Assign || A->getLabel() != 0 ||
+          B->getLabel() != 0)
+        continue;
+      std::set<std::string> NamesA, NamesB;
+      arrayNamesOf(A, NamesA);
+      arrayNamesOf(B, NamesB);
+      bool Disjoint = true;
+      for (const std::string &N : NamesA)
+        Disjoint &= !NamesB.count(N);
+      if (Disjoint)
+        Sites.push_back({L, I});
+    }
+  if (Sites.empty())
+    return {};
+  Site &S = Sites[pick(Rng, Sites.size())];
+  std::swap((*S.List)[S.I], (*S.List)[S.I + 1]);
+  return {true, MetaTransform::PermuteIndependent, AstPrinter().print(P)};
+}
+
+} // namespace
+
+const char *gnt::fuzz::metaTransformName(MetaTransform T) {
+  switch (T) {
+  case MetaTransform::SplitForwardEdge:
+    return "split-forward-edge";
+  case MetaTransform::CloneBlockIfElse:
+    return "clone-block-if-else";
+  case MetaTransform::InsertDeadStmt:
+    return "insert-dead-stmt";
+  case MetaTransform::RenameItems:
+    return "rename-items";
+  case MetaTransform::PermuteIndependent:
+    return "permute-independent";
+  }
+  gntUnreachable("covered switch");
+}
+
+MetaInvariants gnt::fuzz::metaInvariants(MetaTransform T) {
+  MetaInvariants M; // Everything invariant by default.
+  switch (T) {
+  case MetaTransform::SplitForwardEdge:
+    // The new node is a fresh legal anchor point, so LAZY/EAGER ops
+    // can re-anchor a step earlier or later; that shifts how much
+    // latency the surrounding work hides, and nothing else.
+    M.ExposedLatency = false;
+    break;
+  case MetaTransform::CloneBlockIfElse:
+    // The executed statements are the same, but the simulator charges
+    // one work step per evaluated IF, so Work/Steps shift by the new
+    // branch.
+    M.Work = false;
+    M.Steps = false;
+    M.ExposedLatency = false;
+    break;
+  case MetaTransform::InsertDeadStmt:
+    M.Work = false;
+    M.ExposedLatency = false;
+    M.Steps = false;
+    break;
+  case MetaTransform::RenameItems:
+    M.StaticCounts = true;
+    break;
+  case MetaTransform::PermuteIndependent:
+    M.ExposedLatency = false;
+    break;
+  }
+  return M;
+}
+
+MetaVariant gnt::fuzz::applyMetaTransform(const std::string &Source,
+                                          MetaTransform T,
+                                          std::mt19937 &Rng) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.success())
+    return {};
+  Program P = std::move(PR.Prog);
+  switch (T) {
+  case MetaTransform::SplitForwardEdge:
+    return splitForwardEdge(P, Rng);
+  case MetaTransform::CloneBlockIfElse:
+    return cloneBlockIfElse(P, Rng);
+  case MetaTransform::InsertDeadStmt:
+    return insertDeadStmt(P, Rng);
+  case MetaTransform::RenameItems:
+    return renameItems(P, Rng);
+  case MetaTransform::PermuteIndependent:
+    return permuteIndependent(P, Rng);
+  }
+  gntUnreachable("covered switch");
+}

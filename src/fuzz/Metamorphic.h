@@ -1,0 +1,84 @@
+//===- fuzz/Metamorphic.h - Semantics-preserving transforms -----*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Metamorphic transformations: program edits that must leave the
+/// observable placement semantics invariant. Each transform declares
+/// which SimStats fields it promises to preserve (its invariant mask);
+/// the oracle simulates the original and the variant under the same
+/// SimConfig and reports a finding if a masked field differs.
+///
+/// Transforms are constructed so they never desynchronize the
+/// simulator's branch-coin RNG stream: every condition they introduce
+/// is statically evaluable (e.g. `1 <= 2`), so the two runs draw the
+/// same coins in the same order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_METAMORPHIC_H
+#define GNT_FUZZ_METAMORPHIC_H
+
+#include <random>
+#include <string>
+
+namespace gnt::fuzz {
+
+enum class MetaTransform : unsigned {
+  /// Insert a bare `continue` into a straight-line run — splits a
+  /// FORWARD edge with a fresh empty node. Everything but latency
+  /// hiding (the new node is a new anchor point) is invariant.
+  SplitForwardEdge,
+  /// Wrap a straight-line run R in `if (1 <= 2) then R else clone(R)`.
+  /// The taken path executes the same assignments, so all
+  /// communication counts are invariant; work accounting shifts by the
+  /// evaluated branch itself.
+  CloneBlockIfElse,
+  /// Insert an assignment to a fresh *local* array. Local arrays
+  /// generate no communication, so all comm counts are invariant;
+  /// Steps/Work/latency shift by the extra assignment.
+  InsertDeadStmt,
+  /// Globally rename one distributed array. Pure alpha-renaming of the
+  /// item universe: everything, including the plan's static operation
+  /// counts, is invariant.
+  RenameItems,
+  /// Swap two adjacent unlabeled assignments touching disjoint array
+  /// sets. Counts are invariant; only latency hiding may shift.
+  PermuteIndependent,
+};
+
+inline constexpr unsigned NumMetaTransforms = 5;
+
+const char *metaTransformName(MetaTransform T);
+
+/// Which SimStats fields the transform promises to keep identical.
+struct MetaInvariants {
+  bool Messages = true;
+  bool Volume = true;
+  bool Work = true;
+  bool ExposedLatency = true;
+  bool Redundant = true;
+  bool Wasted = true;
+  bool OptimisticMisses = true;
+  bool Steps = true;
+  /// Also require the plan's static per-kind operation counts to match.
+  bool StaticCounts = false;
+};
+
+MetaInvariants metaInvariants(MetaTransform T);
+
+struct MetaVariant {
+  bool Applied = false; ///< False: no applicable site (or no parse).
+  MetaTransform Kind{};
+  std::string Source; ///< The transformed program when Applied.
+};
+
+/// Applies \p T at a random applicable site of \p Source.
+MetaVariant applyMetaTransform(const std::string &Source, MetaTransform T,
+                               std::mt19937 &Rng);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_METAMORPHIC_H

@@ -1,0 +1,279 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging reducer -------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "frontend/Parser.h"
+#include "fuzz/Clone.h"
+#include "ir/AstBuilder.h"
+#include "ir/AstPrinter.h"
+#include "support/Support.h"
+
+#include <set>
+
+using namespace gnt;
+using namespace gnt::fuzz;
+
+namespace {
+
+void gatherListsFrom(StmtList &L, std::vector<StmtList *> &Out) {
+  Out.push_back(&L);
+  for (StmtPtr &S : L) {
+    if (auto *D = dyn_cast<DoStmt>(S.get()))
+      gatherListsFrom(D->getBodyRef(), Out);
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      gatherListsFrom(If->getThenRef(), Out);
+      gatherListsFrom(If->getElseRef(), Out);
+    }
+  }
+}
+
+/// One shrink edit, addressed against the deterministic DFS list order
+/// of a fresh parse.
+struct Edit {
+  enum Kind {
+    RemoveRun,    ///< Erase [Start, Start+Len) of list #List.
+    UnwrapDo,     ///< Replace the DO at (List, Start) with its body.
+    UnwrapIf,     ///< Replace the IF at (List, Start) with its then-arm.
+    DropElse,     ///< Clear the else-arm of the IF at (List, Start).
+    SimplifySub,  ///< Replace the #Start'th array subscript with `1`.
+    DemoteArray,  ///< Make the #Start'th distributed array local.
+    DropDecl,     ///< Remove the #Start'th unreferenced declaration.
+  } K;
+  unsigned List = 0;
+  unsigned Start = 0;
+  unsigned Len = 1;
+};
+
+std::vector<std::string> referencedArrays(const Program &P) {
+  std::set<std::string> Used;
+  forEachStmt(P.getBody(), [&](const Stmt *S) {
+    auto Scan = [&](const Expr *Root) {
+      if (!Root)
+        return;
+      forEachExpr(Root, [&](const Expr *E) {
+        if (const auto *A = dyn_cast<ArrayRefExpr>(E))
+          Used.insert(A->getArray());
+      });
+    };
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign:
+      Scan(cast<AssignStmt>(S)->getLHS());
+      Scan(cast<AssignStmt>(S)->getRHS());
+      break;
+    case Stmt::Kind::Do:
+      Scan(cast<DoStmt>(S)->getLo());
+      Scan(cast<DoStmt>(S)->getHi());
+      break;
+    case Stmt::Kind::If:
+      Scan(cast<IfStmt>(S)->getCond());
+      break;
+    default:
+      break;
+    }
+  });
+  return {Used.begin(), Used.end()};
+}
+
+/// All subscript slots of the program, in DFS statement order.
+std::vector<ExprPtr *> subscriptSlots(Program &P) {
+  std::vector<ExprPtr *> Out;
+  std::function<void(ExprPtr &)> ScanExpr = [&](ExprPtr &E) {
+    if (!E)
+      return;
+    if (auto *A = dyn_cast<ArrayRefExpr>(E.get())) {
+      Out.push_back(&A->getSubscriptPtr());
+      ScanExpr(A->getSubscriptPtr());
+    } else if (auto *B = dyn_cast<BinaryExpr>(E.get())) {
+      ScanExpr(B->getLHSPtr());
+      ScanExpr(B->getRHSPtr());
+    }
+  };
+  std::function<void(StmtList &)> ScanList = [&](StmtList &L) {
+    for (StmtPtr &S : L) {
+      if (auto *A = dyn_cast<AssignStmt>(S.get())) {
+        ScanExpr(A->getLHSPtr());
+        ScanExpr(A->getRHSPtr());
+      } else if (auto *D = dyn_cast<DoStmt>(S.get())) {
+        ScanExpr(D->getLoPtr());
+        ScanExpr(D->getHiPtr());
+        ScanList(D->getBodyRef());
+      } else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+        ScanList(If->getThenRef());
+        ScanList(If->getElseRef());
+      }
+    }
+  };
+  ScanList(P.getBody());
+  return Out;
+}
+
+/// Enumerates every applicable shrink edit of \p P, large bites first.
+std::vector<Edit> enumerateEdits(Program &P) {
+  std::vector<Edit> Edits;
+  std::vector<StmtList *> Lists;
+  gatherListsFrom(P.getBody(), Lists);
+
+  // Chunked statement removal: halves, quarters, ..., singles.
+  for (unsigned ChunkLen : {8u, 4u, 2u, 1u})
+    for (unsigned LI = 0; LI != Lists.size(); ++LI) {
+      StmtList &L = *Lists[LI];
+      if (L.size() < ChunkLen || (ChunkLen > 1 && L.size() == ChunkLen))
+        continue;
+      for (unsigned S = 0; S + ChunkLen <= L.size(); S += ChunkLen)
+        Edits.push_back({Edit::RemoveRun, LI, S, ChunkLen});
+    }
+
+  // Structure unwrapping.
+  for (unsigned LI = 0; LI != Lists.size(); ++LI)
+    for (unsigned I = 0; I != Lists[LI]->size(); ++I) {
+      const Stmt *S = (*Lists[LI])[I].get();
+      if (S->getKind() == Stmt::Kind::Do)
+        Edits.push_back({Edit::UnwrapDo, LI, I, 1});
+      else if (const auto *If = dyn_cast<IfStmt>(S)) {
+        if (If->hasElse())
+          Edits.push_back({Edit::DropElse, LI, I, 1});
+        Edits.push_back({Edit::UnwrapIf, LI, I, 1});
+      }
+    }
+
+  // Subscript simplification (skip ones that are already `1`).
+  std::vector<ExprPtr *> Subs = subscriptSlots(P);
+  for (unsigned I = 0; I != Subs.size(); ++I) {
+    const auto *Lit = dyn_cast<IntLitExpr>(Subs[I]->get());
+    if (!Lit || Lit->getValue() != 1)
+      Edits.push_back({Edit::SimplifySub, 0, I, 1});
+  }
+
+  // Item-universe shrinking and dead declarations.
+  std::vector<std::string> Used = referencedArrays(P);
+  std::set<std::string> UsedSet(Used.begin(), Used.end());
+  unsigned Idx = 0;
+  for (const auto &[Name, Info] : P.getArrays()) {
+    if (Info.Distributed)
+      Edits.push_back({Edit::DemoteArray, 0, Idx, 1});
+    if (!UsedSet.count(Name))
+      Edits.push_back({Edit::DropDecl, 0, Idx, 1});
+    ++Idx;
+  }
+  return Edits;
+}
+
+/// Applies \p E to a fresh parse of \p Source; returns "" when the edit
+/// no longer applies (stale coordinates are simply skipped).
+std::string applyEdit(const std::string &Source, const Edit &E) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.success())
+    return "";
+  Program P = std::move(PR.Prog);
+  std::vector<StmtList *> Lists;
+  gatherListsFrom(P.getBody(), Lists);
+
+  switch (E.K) {
+  case Edit::RemoveRun: {
+    if (E.List >= Lists.size() || E.Start + E.Len > Lists[E.List]->size())
+      return "";
+    StmtList &L = *Lists[E.List];
+    L.erase(L.begin() + E.Start, L.begin() + E.Start + E.Len);
+    break;
+  }
+  case Edit::UnwrapDo: {
+    if (E.List >= Lists.size() || E.Start >= Lists[E.List]->size())
+      return "";
+    StmtList &L = *Lists[E.List];
+    auto *D = dyn_cast<DoStmt>(L[E.Start].get());
+    if (!D)
+      return "";
+    StmtList Body = std::move(D->getBodyRef());
+    L.erase(L.begin() + E.Start);
+    for (unsigned I = 0; I != Body.size(); ++I)
+      L.insert(L.begin() + E.Start + I, std::move(Body[I]));
+    break;
+  }
+  case Edit::UnwrapIf: {
+    if (E.List >= Lists.size() || E.Start >= Lists[E.List]->size())
+      return "";
+    StmtList &L = *Lists[E.List];
+    auto *If = dyn_cast<IfStmt>(L[E.Start].get());
+    if (!If)
+      return "";
+    StmtList Then = std::move(If->getThenRef());
+    L.erase(L.begin() + E.Start);
+    for (unsigned I = 0; I != Then.size(); ++I)
+      L.insert(L.begin() + E.Start + I, std::move(Then[I]));
+    break;
+  }
+  case Edit::DropElse: {
+    if (E.List >= Lists.size() || E.Start >= Lists[E.List]->size())
+      return "";
+    auto *If = dyn_cast<IfStmt>((*Lists[E.List])[E.Start].get());
+    if (!If || !If->hasElse())
+      return "";
+    If->getElseRef().clear();
+    break;
+  }
+  case Edit::SimplifySub: {
+    std::vector<ExprPtr *> Subs = subscriptSlots(P);
+    if (E.Start >= Subs.size())
+      return "";
+    *Subs[E.Start] = build::lit(1);
+    break;
+  }
+  case Edit::DemoteArray:
+  case Edit::DropDecl: {
+    std::vector<std::string> Names;
+    for (const auto &[Name, Info] : P.getArrays())
+      Names.push_back(Name);
+    if (E.Start >= Names.size())
+      return "";
+    std::map<std::string, bool> Decls;
+    for (const auto &[Name, Info] : P.getArrays())
+      Decls[Name] = Info.Distributed;
+    if (E.K == Edit::DemoteArray)
+      Decls[Names[E.Start]] = false;
+    else
+      Decls.erase(Names[E.Start]);
+    P = rebuildProgram(std::move(P.getBody()), Decls);
+    break;
+  }
+  }
+  return AstPrinter().print(P);
+}
+
+} // namespace
+
+std::string gnt::fuzz::minimizeSource(const std::string &Source,
+                                      const ReproPredicate &StillFails,
+                                      unsigned MaxCandidates,
+                                      MinimizeStats *Stats) {
+  std::string Best = Source;
+  MinimizeStats Local;
+  bool Progress = true;
+  while (Progress && Local.Candidates < MaxCandidates) {
+    Progress = false;
+    ParseResult PR = parseProgram(Best);
+    if (!PR.success())
+      break;
+    std::vector<Edit> Edits = enumerateEdits(PR.Prog);
+    for (const Edit &E : Edits) {
+      if (Local.Candidates >= MaxCandidates)
+        break;
+      std::string Candidate = applyEdit(Best, E);
+      if (Candidate.empty() || Candidate == Best)
+        continue;
+      ++Local.Candidates;
+      if (StillFails(Candidate)) {
+        Best = std::move(Candidate);
+        ++Local.Accepted;
+        Progress = true;
+        break; // Re-enumerate against the smaller program.
+      }
+    }
+  }
+  if (Stats)
+    *Stats = Local;
+  return Best;
+}

@@ -1,0 +1,46 @@
+//===- fuzz/Minimizer.h - Delta-debugging reducer ---------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ddmin-style reducer for failing fuzzer inputs. The caller supplies
+/// a predicate ("does this source still reproduce the finding class?");
+/// the minimizer greedily applies structural shrink passes — chunked
+/// statement removal, loop/branch unwrapping, else-arm dropping,
+/// subscript simplification, distributed-array demotion, dead
+/// declaration removal — re-checking the predicate after each
+/// candidate, until a full sweep makes no progress or the candidate
+/// budget runs out. Every candidate goes parse -> AST edit -> print, so
+/// the result is always well-formed FMini.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_MINIMIZER_H
+#define GNT_FUZZ_MINIMIZER_H
+
+#include <functional>
+#include <string>
+
+namespace gnt::fuzz {
+
+/// Returns true while the candidate still reproduces the failure.
+using ReproPredicate = std::function<bool(const std::string &)>;
+
+struct MinimizeStats {
+  unsigned Candidates = 0; ///< Predicate evaluations spent.
+  unsigned Accepted = 0;   ///< Shrink steps that stuck.
+};
+
+/// Shrinks \p Source while \p StillFails holds. \p Source itself must
+/// satisfy the predicate. Deterministic: no randomness, candidates are
+/// enumerated in a fixed order.
+std::string minimizeSource(const std::string &Source,
+                           const ReproPredicate &StillFails,
+                           unsigned MaxCandidates = 3000,
+                           MinimizeStats *Stats = nullptr);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_MINIMIZER_H

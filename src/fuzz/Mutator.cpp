@@ -1,0 +1,405 @@
+//===- fuzz/Mutator.cpp - Seeded program mutations --------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "frontend/Parser.h"
+#include "fuzz/Clone.h"
+#include "ir/AstBuilder.h"
+#include "ir/AstPrinter.h"
+#include "support/Support.h"
+
+#include <set>
+
+using namespace gnt;
+using namespace gnt::build;
+using namespace gnt::fuzz;
+
+namespace {
+
+unsigned pick(std::mt19937 &Rng, unsigned N) {
+  return static_cast<unsigned>(Rng() % N);
+}
+
+bool chance(std::mt19937 &Rng, double P) {
+  // Portable dyadic draw, same scheme as gen/RandomProgram.
+  return (Rng() >> 8) * (1.0 / 16777216.0) < P;
+}
+
+/// A statement list reachable from the program body, with the loop
+/// index variables in scope at its head.
+struct ListCtx {
+  StmtList *List = nullptr;
+  std::vector<std::string> LoopVars;
+  unsigned Depth = 0;
+};
+
+void gatherListsFrom(StmtList &L, std::vector<std::string> &LoopVars,
+                     unsigned Depth, std::vector<ListCtx> &Out) {
+  Out.push_back({&L, LoopVars, Depth});
+  for (StmtPtr &S : L) {
+    if (auto *D = dyn_cast<DoStmt>(S.get())) {
+      LoopVars.push_back(D->getIndexVar());
+      gatherListsFrom(D->getBodyRef(), LoopVars, Depth + 1, Out);
+      LoopVars.pop_back();
+    } else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      gatherListsFrom(If->getThenRef(), LoopVars, Depth + 1, Out);
+      gatherListsFrom(If->getElseRef(), LoopVars, Depth + 1, Out);
+    }
+  }
+}
+
+std::vector<ListCtx> gatherLists(Program &P) {
+  std::vector<ListCtx> Out;
+  std::vector<std::string> LoopVars;
+  gatherListsFrom(P.getBody(), LoopVars, 0, Out);
+  return Out;
+}
+
+void stripLabels(StmtList &L) {
+  for (StmtPtr &S : L) {
+    S->setLabel(0);
+    if (auto *D = dyn_cast<DoStmt>(S.get()))
+      stripLabels(D->getBodyRef());
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      stripLabels(If->getThenRef());
+      stripLabels(If->getElseRef());
+    }
+  }
+}
+
+/// Replaces every GotoStmt in \p L (recursively) with a continue, so a
+/// run cloned into a foreign program cannot dangle on a missing label.
+void neutralizeGotos(StmtList &L) {
+  for (StmtPtr &S : L) {
+    if (S->getKind() == Stmt::Kind::Goto) {
+      unsigned Label = S->getLabel();
+      S = cont();
+      S->setLabel(Label);
+    } else if (auto *D = dyn_cast<DoStmt>(S.get()))
+      neutralizeGotos(D->getBodyRef());
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      neutralizeGotos(If->getThenRef());
+      neutralizeGotos(If->getElseRef());
+    }
+  }
+}
+
+std::vector<std::string> arraysWhere(const Program &P, bool Distributed) {
+  std::vector<std::string> Out;
+  for (const auto &[Name, Info] : P.getArrays())
+    if (Info.Distributed == Distributed)
+      Out.push_back(Name);
+  return Out;
+}
+
+/// A subscript valid under \p Ctx: a constant, a parameter offset, or a
+/// loop-index form when an index variable is in scope.
+ExprPtr randomSubscript(std::mt19937 &Rng, const ListCtx &Ctx,
+                        const std::vector<std::string> &IndexArrays) {
+  bool HasIdx = !Ctx.LoopVars.empty();
+  switch (pick(Rng, HasIdx ? 5u : 2u)) {
+  case 0:
+    return lit(1 + pick(Rng, 8));
+  case 1:
+    return sub(var("n"), lit(pick(Rng, 4)));
+  case 2:
+    return add(var(Ctx.LoopVars[pick(Rng, Ctx.LoopVars.size())]),
+               lit(pick(Rng, 10)));
+  case 3:
+    return bin(BinaryExpr::Op::Mul, lit(2),
+               var(Ctx.LoopVars[pick(Rng, Ctx.LoopVars.size())]));
+  default:
+    if (!IndexArrays.empty())
+      return aref(IndexArrays[pick(Rng, IndexArrays.size())],
+                  var(Ctx.LoopVars[pick(Rng, Ctx.LoopVars.size())]));
+    return lit(1 + pick(Rng, 8));
+  }
+}
+
+/// A fresh DO index name not used by any loop in \p P.
+std::string freshIndexVar(const Program &P) {
+  std::set<std::string> Used;
+  forEachStmt(P.getBody(), [&](const Stmt *S) {
+    if (const auto *D = dyn_cast<DoStmt>(S))
+      Used.insert(D->getIndexVar());
+  });
+  for (unsigned K = 0;; ++K) {
+    std::string Name = "m" + itostr(K);
+    if (!Used.count(Name))
+      return Name;
+  }
+}
+
+unsigned countStmts(const Program &P) {
+  unsigned N = 0;
+  forEachStmt(P.getBody(), [&](const Stmt *) { ++N; });
+  return N;
+}
+
+/// One mutation attempt; returns false if the chosen operator had no
+/// applicable site (the caller redraws).
+bool mutateOnce(Program &P, std::mt19937 &Rng) {
+  std::vector<std::string> Dist = arraysWhere(P, true);
+  std::vector<std::string> Local = arraysWhere(P, false);
+  std::vector<ListCtx> Lists = gatherLists(P);
+
+  switch (pick(Rng, 9)) {
+  case 0: { // Insert a read or a definition of a distributed array.
+    if (Dist.empty())
+      return false;
+    ListCtx &Ctx = Lists[pick(Rng, Lists.size())];
+    ExprPtr Rhs = chance(Rng, 0.7)
+                      ? aref(Dist[pick(Rng, Dist.size())],
+                             randomSubscript(Rng, Ctx, Local))
+                      : static_cast<ExprPtr>(lit(pick(Rng, 100)));
+    ExprPtr Lhs = chance(Rng, 0.35)
+                      ? aref(Dist[pick(Rng, Dist.size())],
+                             randomSubscript(Rng, Ctx, Local))
+                      : aref(Local.empty() ? "w" : Local[pick(Rng,
+                                                              Local.size())],
+                             randomSubscript(Rng, Ctx, Local));
+    if (Local.empty())
+      P.declareArray("w", false);
+    Ctx.List->insert(Ctx.List->begin() + pick(Rng, Ctx.List->size() + 1),
+                     assign(std::move(Lhs), std::move(Rhs)));
+    return true;
+  }
+  case 1: { // Delete an unlabeled statement (keep the program nonempty).
+    if (countStmts(P) < 4)
+      return false;
+    ListCtx &Ctx = Lists[pick(Rng, Lists.size())];
+    if (Ctx.List->empty())
+      return false;
+    unsigned I = pick(Rng, Ctx.List->size());
+    if ((*Ctx.List)[I]->getLabel() != 0)
+      return false;
+    Ctx.List->erase(Ctx.List->begin() + I);
+    return true;
+  }
+  case 2: { // Duplicate a statement (labels stripped from the copy).
+    ListCtx &Ctx = Lists[pick(Rng, Lists.size())];
+    if (Ctx.List->empty())
+      return false;
+    unsigned I = pick(Rng, Ctx.List->size());
+    StmtPtr Copy = cloneStmt((*Ctx.List)[I].get());
+    StmtList One;
+    One.push_back(std::move(Copy));
+    stripLabels(One);
+    Ctx.List->insert(Ctx.List->begin() + I + 1, std::move(One.front()));
+    return true;
+  }
+  case 3: { // Wrap an unlabeled run in a fresh DO loop.
+    ListCtx &Ctx = Lists[pick(Rng, Lists.size())];
+    if (Ctx.List->empty() || Ctx.Depth >= 6)
+      return false;
+    unsigned Start = pick(Rng, Ctx.List->size());
+    unsigned Len = 1 + pick(Rng, std::min<std::size_t>(
+                                     3, Ctx.List->size() - Start));
+    for (unsigned I = Start; I != Start + Len; ++I)
+      if ((*Ctx.List)[I]->getLabel() != 0)
+        return false;
+    StmtList Body;
+    for (unsigned I = Start; I != Start + Len; ++I)
+      Body.push_back(std::move((*Ctx.List)[I]));
+    Ctx.List->erase(Ctx.List->begin() + Start,
+                    Ctx.List->begin() + Start + Len);
+    ExprPtr Hi = chance(Rng, 0.4)
+                     ? static_cast<ExprPtr>(lit(chance(Rng, 0.3)
+                                                    ? 0
+                                                    : 1 + pick(Rng, 5)))
+                     : static_cast<ExprPtr>(var("n"));
+    Ctx.List->insert(Ctx.List->begin() + Start,
+                     doLoop(freshIndexVar(P), lit(1), std::move(Hi),
+                            std::move(Body)));
+    return true;
+  }
+  case 4: { // Wrap an unlabeled run in an opaque IF.
+    ListCtx &Ctx = Lists[pick(Rng, Lists.size())];
+    if (Ctx.List->empty() || Ctx.Depth >= 6)
+      return false;
+    unsigned Start = pick(Rng, Ctx.List->size());
+    unsigned Len = 1 + pick(Rng, std::min<std::size_t>(
+                                     2, Ctx.List->size() - Start));
+    for (unsigned I = Start; I != Start + Len; ++I)
+      if ((*Ctx.List)[I]->getLabel() != 0)
+        return false;
+    StmtList Then;
+    for (unsigned I = Start; I != Start + Len; ++I)
+      Then.push_back(std::move((*Ctx.List)[I]));
+    Ctx.List->erase(Ctx.List->begin() + Start,
+                    Ctx.List->begin() + Start + Len);
+    std::vector<ExprPtr> Args;
+    Args.push_back(Ctx.LoopVars.empty()
+                       ? var("n")
+                       : var(Ctx.LoopVars[pick(Rng, Ctx.LoopVars.size())]));
+    Ctx.List->insert(Ctx.List->begin() + Start,
+                     ifThen(call("t", std::move(Args)), std::move(Then)));
+    return true;
+  }
+  case 5: { // Replace a subscript.
+    struct Site {
+      ArrayRefExpr *Ref;
+      unsigned ListIdx;
+    };
+    std::vector<Site> Sites;
+    for (unsigned LI = 0; LI != Lists.size(); ++LI)
+      for (StmtPtr &S : *Lists[LI].List)
+        if (auto *A = dyn_cast<AssignStmt>(S.get())) {
+          std::function<void(Expr *)> Scan = [&](Expr *E) {
+            if (auto *Ref = dyn_cast<ArrayRefExpr>(E))
+              Sites.push_back({Ref, LI});
+            if (auto *B = dyn_cast<BinaryExpr>(E)) {
+              Scan(B->getLHSPtr().get());
+              Scan(B->getRHSPtr().get());
+            }
+          };
+          Scan(A->getLHSPtr().get());
+          Scan(A->getRHSPtr().get());
+        }
+    if (Sites.empty())
+      return false;
+    Site &S = Sites[pick(Rng, Sites.size())];
+    S.Ref->getSubscriptPtr() =
+        randomSubscript(Rng, Lists[S.ListIdx], Local);
+    return true;
+  }
+  case 6: { // Rewrite a loop bound (possibly to zero-trip).
+    std::vector<DoStmt *> Loops;
+    for (ListCtx &Ctx : Lists)
+      for (StmtPtr &S : *Ctx.List)
+        if (auto *D = dyn_cast<DoStmt>(S.get()))
+          Loops.push_back(D);
+    if (Loops.empty())
+      return false;
+    DoStmt *D = Loops[pick(Rng, Loops.size())];
+    switch (pick(Rng, 3)) {
+    case 0:
+      D->getHiPtr() = lit(0); // Guaranteed zero-trip.
+      break;
+    case 1:
+      D->getHiPtr() = lit(1 + pick(Rng, 6));
+      break;
+    default:
+      D->getHiPtr() = var("n");
+      break;
+    }
+    return true;
+  }
+  case 7: { // Toggle an array's distribution (keep >= 1 distributed).
+    std::vector<std::string> Names;
+    for (const auto &[Name, Info] : P.getArrays())
+      Names.push_back(Name);
+    if (Names.empty())
+      return false;
+    const std::string &Name = Names[pick(Rng, Names.size())];
+    bool WasDist = P.isDistributed(Name);
+    if (WasDist && Dist.size() <= 1)
+      return false;
+    std::map<std::string, bool> Decls;
+    for (const auto &[N, Info] : P.getArrays())
+      Decls[N] = Info.Distributed;
+    Decls[Name] = !WasDist;
+    P = rebuildProgram(std::move(P.getBody()), Decls);
+    return true;
+  }
+  default: { // Insert a conditional goto out of a loop.
+    // Site: a DO at position i of some list with a labeled statement at
+    // j > i in the same list — the goto lands after the loop, which the
+    // CFG builder accepts as a forward jump out of the nest.
+    struct GotoSite {
+      DoStmt *Loop;
+      unsigned Label;
+    };
+    std::vector<GotoSite> Sites;
+    for (ListCtx &Ctx : Lists)
+      for (std::size_t I = 0; I != Ctx.List->size(); ++I)
+        if (auto *D = dyn_cast<DoStmt>((*Ctx.List)[I].get()))
+          for (std::size_t J = I + 1; J != Ctx.List->size(); ++J)
+            if ((*Ctx.List)[J]->getLabel() != 0)
+              Sites.push_back({D, (*Ctx.List)[J]->getLabel()});
+    if (Sites.empty())
+      return false;
+    GotoSite &Site = Sites[pick(Rng, Sites.size())];
+    std::vector<ExprPtr> Args;
+    Args.push_back(var(Site.Loop->getIndexVar()));
+    StmtList &Body = Site.Loop->getBodyRef();
+    Body.insert(Body.begin() + pick(Rng, Body.size() + 1),
+                ifGoto(call("t", std::move(Args)), Site.Label));
+    return true;
+  }
+  }
+}
+
+} // namespace
+
+std::string gnt::fuzz::mutateSource(const std::string &Source,
+                                    std::mt19937 &Rng) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.success())
+    return "";
+  Program P = std::move(PR.Prog);
+  unsigned Wanted = 1 + pick(Rng, 3);
+  unsigned Applied = 0;
+  for (unsigned Attempt = 0; Attempt != 24 && Applied != Wanted; ++Attempt)
+    Applied += mutateOnce(P, Rng);
+  return AstPrinter().print(P);
+}
+
+std::string gnt::fuzz::crossoverSources(const std::string &A,
+                                        const std::string &B,
+                                        std::mt19937 &Rng) {
+  ParseResult PA = parseProgram(A);
+  ParseResult PB = parseProgram(B);
+  if (!PA.success() || !PB.success())
+    return "";
+  Program &Dst = PA.Prog;
+  Program &Src = PB.Prog;
+
+  std::vector<ListCtx> SrcLists = gatherLists(Src);
+  ListCtx &From = SrcLists[pick(Rng, SrcLists.size())];
+  if (From.List->empty())
+    return AstPrinter().print(Dst);
+  unsigned Start = pick(Rng, From.List->size());
+  unsigned Len = 1 + pick(Rng, std::min<std::size_t>(
+                                   3, From.List->size() - Start));
+  StmtList Run;
+  for (unsigned I = Start; I != Start + Len; ++I)
+    Run.push_back(cloneStmt((*From.List)[I].get()));
+  stripLabels(Run);
+  neutralizeGotos(Run);
+
+  // Import declarations the spliced run relies on, with the donor's
+  // distribution flags.
+  forEachStmt(Run, [&](const Stmt *S) {
+    auto Import = [&](const Expr *Root) {
+      if (!Root)
+        return;
+      forEachExpr(Root, [&](const Expr *E) {
+        if (const auto *Ref = dyn_cast<ArrayRefExpr>(E))
+          if (!Dst.getArrays().count(Ref->getArray()))
+            Dst.declareArray(Ref->getArray(),
+                             Src.isDistributed(Ref->getArray()));
+      });
+    };
+    if (const auto *As = dyn_cast<AssignStmt>(S)) {
+      Import(As->getLHS());
+      Import(As->getRHS());
+    } else if (const auto *D = dyn_cast<DoStmt>(S)) {
+      Import(D->getLo());
+      Import(D->getHi());
+    } else if (const auto *If = dyn_cast<IfStmt>(S)) {
+      Import(If->getCond());
+    }
+  });
+
+  std::vector<ListCtx> DstLists = gatherLists(Dst);
+  ListCtx &To = DstLists[pick(Rng, DstLists.size())];
+  unsigned Pos = pick(Rng, To.List->size() + 1);
+  for (unsigned I = 0; I != Run.size(); ++I)
+    To.List->insert(To.List->begin() + Pos + I, std::move(Run[I]));
+  return AstPrinter().print(Dst);
+}

@@ -1,0 +1,42 @@
+//===- fuzz/Mutator.h - Seeded program mutations ----------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural mutations over FMini programs. The mutator parses the
+/// input, edits the AST, and prints it back, so every mutant is
+/// syntactically valid by construction; semantic validity (reducible
+/// CFG, goto discipline) is left to the oracle's frontend, which
+/// rejects bad mutants cheaply. All randomness comes from raw
+/// std::mt19937 draws, so a (source, seed) pair produces the same
+/// mutant on every machine — the same reproducibility contract as
+/// gen/RandomProgram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_FUZZ_MUTATOR_H
+#define GNT_FUZZ_MUTATOR_H
+
+#include <random>
+#include <string>
+
+namespace gnt::fuzz {
+
+/// Applies 1-3 random structural mutations (insert/delete/duplicate
+/// statements, wrap runs in loops or branches, rewrite subscripts and
+/// loop bounds, toggle distribution, insert gotos out of loops) and
+/// returns the mutant source. Returns the input unchanged only if no
+/// mutation site exists; returns "" if \p Source does not parse.
+std::string mutateSource(const std::string &Source, std::mt19937 &Rng);
+
+/// Crossbreeds two programs: splices a cloned statement run of \p B
+/// into \p A, importing any array declarations the run needs. Returns
+/// "" if either input does not parse.
+std::string crossoverSources(const std::string &A, const std::string &B,
+                             std::mt19937 &Rng);
+
+} // namespace gnt::fuzz
+
+#endif // GNT_FUZZ_MUTATOR_H

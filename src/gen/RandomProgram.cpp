@@ -173,3 +173,35 @@ Program gnt::generateRandomProgram(const GenConfig &Config) {
   Generator G(Config);
   return G.run();
 }
+
+GenConfig gnt::genConfigForBucket(unsigned Bucket, unsigned Seed) {
+  GenConfig C;
+  C.Seed = Seed;
+  switch (Bucket % NumGenBuckets) {
+  case 0: // Paper-sized default.
+    break;
+  case 1: // Goto-heavy: many jumps out of loop nests.
+    C.GotoProb = 0.35;
+    C.TargetStmts = 40;
+    break;
+  case 2: // Constant bounds dominate, including zero-trip loops.
+    C.ConstantBoundProb = 0.85;
+    C.TargetStmts = 35;
+    break;
+  case 3: // Wide item universe (multi-word bit rows).
+    C.NumDistributed = 8;
+    C.TargetStmts = 50;
+    C.DefProb = 0.45;
+    break;
+  case 4: // Deep nesting.
+    C.MaxDepth = 6;
+    C.TargetStmts = 60;
+    break;
+  case 5: // Flat and wide: long straight-line runs.
+    C.MaxDepth = 1;
+    C.TargetStmts = 40;
+    C.NumDistributed = 5;
+    break;
+  }
+  return C;
+}

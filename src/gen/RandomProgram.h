@@ -52,6 +52,18 @@ struct GenConfig {
 /// Generates a program; deterministic in \p Config.Seed.
 Program generateRandomProgram(const GenConfig &Config);
 
+/// Number of structure buckets genConfigForBucket() distinguishes.
+inline constexpr unsigned NumGenBuckets = 6;
+
+/// Preset GenConfigs spanning qualitatively different program shapes:
+/// 0 paper-sized default, 1 goto-heavy, 2 constant/zero-trip-bound
+/// heavy, 3 wide item universe, 4 deeply nested, 5 flat and wide.
+/// The fuzzer seeds its corpus across all buckets and GeneratorTest
+/// pins one golden program per bucket family, so the exact knob values
+/// here are load-bearing: changing them invalidates seed-derived
+/// expectations just like changing the draw stream would.
+GenConfig genConfigForBucket(unsigned Bucket, unsigned Seed);
+
 } // namespace gnt
 
 #endif // GNT_GEN_RANDOMPROGRAM_H

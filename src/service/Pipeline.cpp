@@ -237,3 +237,23 @@ std::uint64_t gnt::pipelineCacheKey(const std::string &Source,
   H = fnv1aAppend(H, std::string(1, '\0'));
   return fnv1aAppend(H, Source);
 }
+
+std::uint64_t gnt::resultSignature(const PipelineResult &R) {
+  std::uint64_t H = fnv1a(R.Annotated);
+  for (const Diagnostic &D : R.Diags.all())
+    H = fnv1aAppend(H, D.render() + "\n");
+  if (R.Plan) {
+    for (const auto &[Kind, Count] : R.Plan->staticCounts())
+      H = fnv1aAppend(H, std::string(commOpName(Kind)) + "=" +
+                             itostr(Count) + ";");
+  }
+  if (R.Pre) {
+    H = fnv1aAppend(H, "pre_insertions=" +
+                           itostr(static_cast<long long>(
+                               R.Pre->Insertions.size())));
+    H = fnv1aAppend(H, ";pre_redundant=" +
+                           itostr(static_cast<long long>(
+                               R.Pre->Redundant.size())));
+  }
+  return H;
+}

@@ -179,6 +179,15 @@ PipelineResult compilePipeline(const std::string &Source,
 std::uint64_t pipelineCacheKey(const std::string &Source,
                                const PipelineOptions &Opts);
 
+/// Stable content signature of a compilation *outcome*: FNV-1a over the
+/// rendered diagnostics, the annotated program, and the plan's static
+/// placement counts (or the PRE insertion/redundancy counts). Two
+/// compilations of one source through semantically equivalent
+/// configurations — e.g. differing only in SolverShards — must produce
+/// equal signatures; the fuzzer's production-path differential layer
+/// compares these instead of re-walking every artifact.
+std::uint64_t resultSignature(const PipelineResult &R);
+
 } // namespace gnt
 
 #endif // GNT_SERVICE_PIPELINE_H

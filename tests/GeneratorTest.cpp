@@ -8,6 +8,7 @@
 
 #include "gen/RandomProgram.h"
 #include "ir/AstPrinter.h"
+#include "support/Hashing.h"
 
 #include <gtest/gtest.h>
 
@@ -107,6 +108,44 @@ TEST(Generator, UsesDistributedArrays) {
 // standard library; if this test fails, the generator's draw stream
 // changed and every seed-derived regression expectation in the suite is
 // suspect.
+// Pins one program per structure-bucket family (goto-heavy, zero-trip
+// heavy, wide universe) by content hash. The fuzzer's seed round and
+// the corpus provenance headers both regenerate programs from
+// (bucket, seed) pairs, so a silent change to either the draw stream or
+// the bucket knob values in genConfigForBucket() would orphan every
+// checked-in `--gen BUCKET --seed N` provenance line. The full text is
+// printed on failure so the new hash can be re-pinned deliberately.
+TEST(Generator, BucketSeedHashesPinned) {
+  struct Pin {
+    unsigned Bucket;
+    const char *Hash;
+  };
+  const Pin Pins[] = {
+      {1, "9bb6f9d44483868a"}, // goto-heavy
+      {2, "1267cda8a7bd7d6d"}, // constant/zero-trip-bound heavy
+      {3, "5d86baf599306dc3"}, // wide item universe
+  };
+  for (const Pin &P : Pins) {
+    GenConfig C = genConfigForBucket(P.Bucket, /*Seed=*/1);
+    std::string Text = AstPrinter().print(generateRandomProgram(C));
+    EXPECT_EQ(hashToHex(fnv1a(Text)), P.Hash)
+        << "bucket " << P.Bucket << " drifted; new text:\n"
+        << Text;
+  }
+
+  // The buckets must also keep their qualitative shape, not just any
+  // stable hash: a jump for the goto bucket, a guaranteed zero-trip
+  // loop for the constant-bound bucket, and a widened distributed set
+  // for the wide-universe bucket.
+  auto TextFor = [](unsigned Bucket) {
+    return AstPrinter().print(
+        generateRandomProgram(genConfigForBucket(Bucket, 1)));
+  };
+  EXPECT_NE(TextFor(1).find("goto"), std::string::npos);
+  EXPECT_NE(TextFor(2).find("= 1, 0"), std::string::npos);
+  EXPECT_NE(TextFor(3).find("x7"), std::string::npos);
+}
+
 TEST(Generator, SeedSevenGoldenText) {
   GenConfig C;
   C.Seed = 7;

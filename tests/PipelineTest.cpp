@@ -231,6 +231,47 @@ TEST(Pipeline, SolverShardsDoNotChangeOutputOrCacheKey) {
   }
 }
 
+TEST(Pipeline, ResultSignatureIsShardInvariantAndDiscriminating) {
+  // The fuzzer's production-path differential compares resultSignature()
+  // instead of re-walking every artifact, so the signature must be equal
+  // across shard counts even when the compilation carries diagnostics
+  // (here: jump poisoning makes the audit emit O1 conservatism notes).
+  const char *JumpSource = R"(
+distribute x
+array a, w, z
+do i = 1, n
+  w(a(i)) = x(i)
+  if (t(i)) goto 55
+enddo
+55 do k = 1, n
+  z(k) = x(k)
+enddo
+)";
+  PipelineOptions Serial;
+  Serial.Audit = true;
+  Serial.Annotate = true;
+  PipelineResult Base = compilePipeline(JumpSource, Serial);
+  ASSERT_TRUE(Base.ok()) << Base.Diags.renderText();
+  std::uint64_t Sig = resultSignature(Base);
+  for (unsigned Shards : {2u, 7u, 64u}) {
+    PipelineOptions Opts = Serial;
+    Opts.SolverShards = Shards;
+    PipelineResult R = compilePipeline(JumpSource, Opts);
+    EXPECT_EQ(resultSignature(R), Sig) << "shards " << Shards;
+  }
+
+  // ... while still separating genuinely different outcomes: another
+  // source, and the same source through PRE (different plan summary).
+  PipelineResult Other = compilePipeline(kBranchSource, Serial);
+  EXPECT_NE(resultSignature(Other), Sig);
+  PipelineOptions Pre = Serial;
+  Pre.Mode = PipelineMode::Pre;
+  Pre.Audit = false;
+  PipelineResult PreR = compilePipeline(JumpSource, Pre);
+  ASSERT_TRUE(PreR.ok()) << PreR.Diags.renderText();
+  EXPECT_NE(resultSignature(PreR), Sig);
+}
+
 TEST(Pipeline, CompileIsDeterministic) {
   PipelineOptions Opts;
   Opts.Audit = true;
