@@ -7,11 +7,14 @@
 // Throughput of the batch compilation service over generated workloads:
 // jobs/sec as the worker count scales (the paper's O(E) elimination
 // solver gets a throughput benchmark, not only a latency one), and the
-// effect of the content-hash result cache at several repeat ratios. CI
-// emits these numbers as BENCH_pipeline.json to start the service perf
-// trajectory.
+// effect of the content-hash result cache at several repeat ratios.
+// Every run writes BENCH_pipeline.json (BenchJson.h schema) to the
+// working directory, so local runs extend the same service perf
+// trajectory that CI uploads.
 //
 //===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
 
 #include "service/BatchServer.h"
 
@@ -122,4 +125,7 @@ BENCHMARK(BM_BatchThroughputAudited)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_CacheHitRatio)->Arg(96)->Arg(24)->Arg(6)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  return gnt::bench::runBenchmarksWithTrajectory(argc, argv,
+                                                 "BENCH_pipeline.json");
+}

@@ -160,7 +160,8 @@ AnchorKey exitAnchor(const CfgNode &Node) {
 
 CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                            const IntervalFlowGraph &Ifg,
-                           const CommOptions &Opts, unsigned SolverShards) {
+                           const CommOptions &Opts, unsigned SolverShards,
+                           bool CompressUniverse) {
   CommPlan Plan;
   Plan.Opts = Opts;
   Plan.Refs = analyzeReferences(P, G);
@@ -168,9 +169,11 @@ CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                     Plan.WriteProblem);
 
   if (Opts.GenerateReads)
-    Plan.ReadRun = runGiveNTake(Ifg, Plan.ReadProblem, SolverShards);
+    Plan.ReadRun =
+        runGiveNTake(Ifg, Plan.ReadProblem, SolverShards, CompressUniverse);
   if (Opts.GenerateWrites && !Opts.OwnerComputes)
-    Plan.WriteRun = runGiveNTake(Ifg, Plan.WriteProblem, SolverShards);
+    Plan.WriteRun =
+        runGiveNTake(Ifg, Plan.WriteProblem, SolverShards, CompressUniverse);
 
   // Assemble the anchored operation lists. Two phases: at any one program
   // point every write-back precedes every read (the owners must be

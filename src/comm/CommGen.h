@@ -121,13 +121,16 @@ struct CommPlan {
 /// Analyzes \p P and computes the full communication plan. \p G and
 /// \p Ifg must come from buildCfg / IntervalFlowGraph::build on \p P.
 /// \p SolverShards > 1 solves each GIVE-N-TAKE problem with its item
-/// universe split into that many word-aligned shards; by the
-/// shard-invariance contract (see dataflow/GiveNTake.h) the plan is
-/// byte-identical for every shard count.
+/// universe split into that many word-aligned shards;
+/// \p CompressUniverse solves over item equivalence classes instead of
+/// the full universe. By the invariance contracts (see
+/// dataflow/GiveNTake.h) the plan is byte-identical for every
+/// combination of the two knobs.
 CommPlan generateComm(const Program &P, const Cfg &G,
                       const IntervalFlowGraph &Ifg,
                       const CommOptions &Opts = {},
-                      unsigned SolverShards = 0);
+                      unsigned SolverShards = 0,
+                      bool CompressUniverse = false);
 
 /// Builds the READ (Before) and WRITE (After) problem inputs from the
 /// reference analysis. Shared with the baseline generators, which reuse

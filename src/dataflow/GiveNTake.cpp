@@ -39,11 +39,20 @@
 ///
 /// Because every equation is a bitwise AND/OR/ANDNOT over item sets —
 /// no operation crosses bit lanes — any word range of the universe can
-/// be solved independently of the rest. solveGiveNTakeSharded() exploits
-/// that for parallelism: workers solve disjoint word ranges of one
-/// shared arena, with no slicing or stitching. Every word is computed
-/// by the same sweep over the same inputs regardless of the partition,
-/// so any shard count is byte-identical to the serial solve.
+/// be solved independently of the rest. Two further layers compose on
+/// top of the arena sweeps by exploiting exactly that independence:
+///
+///  - solveGiveNTakeSharded(): workers solve disjoint word ranges of
+///    one shared arena, with no slicing or stitching. Every word is
+///    computed by the same sweep over the same inputs regardless of the
+///    partition, so any shard count is byte-identical to the serial
+///    solve.
+///  - solveGiveNTakeCompressed(): the universe is first partitioned
+///    into column equivalence classes (support/ItemClasses.h) — items
+///    with identical (TAKE_init, GIVE_init, STEAL_init) columns have
+///    identical solutions, and all-empty columns solve to bottom — so
+///    the sweeps run over one representative per class and the full
+///    result is reconstructed by word-run expansion afterwards.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -55,6 +64,7 @@
 #include <thread>
 
 #include "support/DataflowMatrix.h"
+#include "support/ItemClasses.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
@@ -963,11 +973,122 @@ GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
 }
 
 //===----------------------------------------------------------------------===//
+// Universe-compressed solve
+//===----------------------------------------------------------------------===//
+
+GntResult gnt::solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
+                                        const GntProblem &P, unsigned Shards) {
+  const unsigned N = Ifg.size();
+  assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
+         P.StealInit.size() == N && "problem not sized to the graph");
+
+  // Abort the partition as soon as the live class count proves the
+  // input unprofitable (the threshold mirrors profitable()): on
+  // incompressible inputs this caps the compression attempt at a
+  // fraction of one init sweep instead of a full refinement.
+  const unsigned AbortAbove = P.UniverseSize / 4;
+  const ItemClasses Classes = computeItemClasses(
+      P.UniverseSize, P.TakeInit, P.GiveInit, P.StealInit, AbortAbove);
+  GntCompressionStats Stats;
+  Stats.Universe = P.UniverseSize;
+  Stats.Classes = Classes.NumClasses;
+  Stats.Elided = Classes.elided();
+
+  // Two profitability conditions, both required: the partition must
+  // shrink the universe at least 4x (the class-count gate, checked
+  // first so incompressible inputs pay only the partition probe), and
+  // the expansion plan must not be shattered — more segments than
+  // destination words means the per-row reconstruction degenerates
+  // toward a per-bit scatter (universes whose duplicate columns are
+  // interleaved with many distinct ones fragment this way), at which
+  // point expansion eats the narrower-sweep win.
+  const unsigned DstWords = (P.UniverseSize + BitVector::WordBits - 1) /
+                            BitVector::WordBits;
+  auto Fallback = [&] {
+    GntResult R = Shards > 1 ? solveGiveNTakeSharded(Ifg, P, Shards)
+                             : solveGiveNTake(Ifg, P);
+    R.Compression = Stats;
+    return R;
+  };
+  if (!Classes.profitable())
+    return Fallback();
+  const std::vector<ExpandSeg> Plan = buildExpandPlan(Classes);
+  if (Plan.size() > DstWords)
+    return Fallback();
+  Stats.Applied = true;
+
+  // Every item is trivially bottom: the whole solution is the zero
+  // matrix, no solve needed — and lazily zeroed, no memory touched.
+  if (Classes.NumClasses == 0) {
+    auto M = std::make_shared<DataflowMatrix>(NumArenaFields * N,
+                                              P.UniverseSize,
+                                              DataflowMatrix::LazyZeroed);
+    GntResult R = exportArena(std::move(M), N);
+    R.Compression = Stats;
+    return R;
+  }
+
+  // Compressed problem: one bit per class. Reading each class's bit
+  // from the column of one member through the cover plan is sound
+  // precisely because items in a class have *identical* columns, and
+  // keeps compression at word granularity — a handful of word-run
+  // reads per row instead of a per-bit scatter.
+  const std::vector<ExpandSeg> Cover = buildCoverPlan(Plan);
+  GntProblem CP(N, Classes.NumClasses, P.Dir);
+  CP.NoHoistHeaders = P.NoHoistHeaders;
+  auto CompressRows = [&](const std::vector<BitVector> &Full,
+                          std::vector<BitVector> &Narrow) {
+    for (unsigned Id = 0; Id != N; ++Id) {
+      const BitVector::Word *Src = Full[Id].words();
+      BitVector::Word *Dst = Narrow[Id].wordsData();
+      for (const ExpandSeg &Seg : Cover)
+        orCopyBits(Dst, Seg.SrcBit, Src, Seg.DstBit, Seg.Len);
+    }
+  };
+  CompressRows(P.TakeInit, CP.TakeInit);
+  CompressRows(P.GiveInit, CP.GiveInit);
+  CompressRows(P.StealInit, CP.StealInit);
+
+  // Solve the narrow problem with the existing arena/sharded machinery;
+  // its (small) arena is only an intermediate here.
+  GntResult Narrow = Shards > 1 ? solveGiveNTakeSharded(Ifg, CP, Shards)
+                                : solveGiveNTake(Ifg, CP);
+  const auto *MC = static_cast<const DataflowMatrix *>(Narrow.Arena.get());
+  assert(MC && "arena solver always exports an arena");
+
+  // Expand all 20 variables back to the full universe, tiling every
+  // destination word of an uninitialized arena exactly once (segments
+  // plus the gaps between them — no memset-then-OR double pass). When
+  // every segment boundary is word-aligned the plan compiles to a
+  // straight-line whole-word program, which keeps the hot loop at bare
+  // copies and memsets; otherwise the bit-granular expandRow handles
+  // the general case. The expanded matrix honors the same borrowWords
+  // export contract as a direct solve.
+  const unsigned SrcWords = MC->wordsPerRow();
+  const std::vector<ExpandWordOp> WordProg =
+      compileExpandWordPlan(Plan, DstWords);
+  auto ME = std::make_shared<DataflowMatrix>(NumArenaFields * N,
+                                             P.UniverseSize,
+                                             DataflowMatrix::Uninit);
+  if (!WordProg.empty()) {
+    for (unsigned Row = 0, E = NumArenaFields * N; Row != E; ++Row)
+      expandRowWords(ME->row(Row), DstWords, MC->row(Row), SrcWords, WordProg);
+  } else {
+    for (unsigned Row = 0, E = NumArenaFields * N; Row != E; ++Row)
+      expandRow(ME->row(Row), DstWords, MC->row(Row), SrcWords, Plan);
+  }
+
+  GntResult R = exportArena(std::move(ME), N);
+  R.Compression = Stats;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
 // Oriented driver
 //===----------------------------------------------------------------------===//
 
 GntRun gnt::runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
-                         unsigned SolverShards) {
+                         unsigned SolverShards, bool CompressUniverse) {
   GntRun Run;
   Run.OrientedProblem = P;
   if (P.Dir == Direction::Before) {
@@ -979,9 +1100,16 @@ GntRun gnt::runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
     for (NodeId H : Forward.jumpPoisonedHeaders())
       Run.OrientedProblem.StealInit[H].set();
   }
-  Run.Result = SolverShards > 1
-                   ? solveGiveNTakeSharded(Run.OrientedIfg,
-                                           Run.OrientedProblem, SolverShards)
-                   : solveGiveNTake(Run.OrientedIfg, Run.OrientedProblem);
+  // Compression partitions the *oriented* problem — after the poisoning
+  // above — so the full-set STEAL rows it may introduce are part of the
+  // columns being classed, which is what makes eliding sound here.
+  if (CompressUniverse)
+    Run.Result = solveGiveNTakeCompressed(Run.OrientedIfg,
+                                          Run.OrientedProblem, SolverShards);
+  else
+    Run.Result = SolverShards > 1
+                     ? solveGiveNTakeSharded(Run.OrientedIfg,
+                                             Run.OrientedProblem, SolverShards)
+                     : solveGiveNTake(Run.OrientedIfg, Run.OrientedProblem);
   return Run;
 }

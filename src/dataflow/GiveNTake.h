@@ -23,6 +23,14 @@
 /// every interval that a JUMP edge leaves poisoned via STEAL_init = TOP
 /// to prevent unsafe hoisting (Section 5.3).
 ///
+/// Solver performance is three composable layers, each preserving
+/// byte-identical results: fused word sweeps over a flat DataflowMatrix
+/// arena (solveGiveNTake), item-sharded parallel solving of disjoint
+/// word windows (solveGiveNTakeSharded), and universe compression onto
+/// column equivalence classes with verified expansion
+/// (solveGiveNTakeCompressed — which itself shards the compressed
+/// solve). None is "the" fast path; their wins multiply.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GNT_DATAFLOW_GIVENTAKE_H
@@ -91,6 +99,17 @@ struct GntPlacement {
   std::vector<BitVector> ResOut;   ///< Eq. 15: production at node exit.
 };
 
+/// What the universe-compression layer did for one solve. Zero-valued
+/// (Applied == false, Classes == Universe) when compression was not
+/// requested; when it was requested but unprofitable, the partition
+/// numbers are still reported with Applied == false.
+struct GntCompressionStats {
+  unsigned Universe = 0; ///< Original item universe size.
+  unsigned Classes = 0;  ///< Column equivalence classes (compressed size).
+  unsigned Elided = 0;   ///< Trivially-bottom items dropped outright.
+  bool Applied = false;  ///< Whether the compressed solve actually ran.
+};
+
 /// Full solver output, exposing every intermediate dataflow variable so
 /// tests can validate the paper's Section 4 worked example directly.
 /// All variables are expressed in the *solving* orientation: for AFTER
@@ -117,6 +136,11 @@ struct GntResult {
   /// a GntResult deep-copies every BitVector into owned storage either
   /// way, so the handle never outlives its users.
   std::shared_ptr<void> Arena;
+
+  /// Universe-compression accounting for this solve (see
+  /// solveGiveNTakeCompressed). Default-constructed for the other
+  /// entry points.
+  GntCompressionStats Compression;
 };
 
 /// Applies \p Fn("NAME", FieldVector) to every dataflow variable of a
@@ -158,7 +182,10 @@ void forEachGntField(ResultT &&R, Fn &&F) {
 /// allocation for all 20 variables) and fuses the equations of each
 /// schedule step into a single word loop per node; the result is
 /// materialized into the BitVector fields afterwards. Values are
-/// bit-for-bit identical to solveGiveNTakeClassic().
+/// bit-for-bit identical to solveGiveNTakeClassic(). This is the base
+/// layer of the solver stack; solveGiveNTakeSharded parallelizes it
+/// across the universe and solveGiveNTakeCompressed narrows the
+/// universe it sweeps.
 GntResult solveGiveNTake(const IntervalFlowGraph &Ifg, const GntProblem &P);
 
 /// The pre-arena evaluator: one BitVector temporary per equation term,
@@ -188,6 +215,27 @@ GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
 GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
                                 const GntProblem &P, unsigned Shards);
 
+/// Solves \p P on the universe compressed to its column equivalence
+/// classes. Equations 1-15 never cross bit lanes, so an item's solution
+/// in every variable is a function of its column across (TAKE_init,
+/// GIVE_init, STEAL_init) alone: items with identical columns are
+/// solved once via a representative, items with all-empty columns are
+/// elided as trivially bottom, and the compressed solution is expanded
+/// back to the full universe afterwards (word-run copies into a fresh
+/// arena, so the zero-copy borrowWords export contract is unchanged).
+/// Results are byte-identical to the plain solve — a contract enforced
+/// by the property battery and the fuzzer's differential oracle.
+///
+/// When the partition does not shrink the universe at least 4x the
+/// call falls back to the plain arena/sharded solve; the partition
+/// aborts as soon as its (monotone) live class count proves that
+/// outcome, bounding the overhead on incompressible problems to a
+/// fraction of the O(set bits) partition sweep. \p Shards applies to whichever solve runs (compressed or
+/// fallback). Compression accounting is reported in
+/// GntResult::Compression either way.
+GntResult solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
+                                   const GntProblem &P, unsigned Shards = 0);
+
 /// A complete, oriented GIVE-N-TAKE run.
 struct GntRun {
   /// The graph the solver ran on: \p Forward itself for BEFORE problems,
@@ -215,10 +263,14 @@ struct GntRun {
 /// Orients the problem (reversing the graph and poisoning jumped-out
 /// intervals for AFTER problems) and solves it. \p SolverShards > 1
 /// solves the item universe in that many word-aligned shards on a
-/// transient thread pool; by the shard-invariance contract the result
-/// is byte-identical to the serial solve (SolverShards <= 1).
+/// transient thread pool; \p CompressUniverse first narrows the
+/// universe to its column equivalence classes (compression runs on the
+/// *oriented* problem, after jump poisoning, so poisoned STEAL rows are
+/// part of the partitioned columns). Both are solver strategy knobs:
+/// by contract the result is byte-identical to the serial,
+/// uncompressed solve.
 GntRun runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
-                    unsigned SolverShards = 0);
+                    unsigned SolverShards = 0, bool CompressUniverse = false);
 
 } // namespace gnt
 

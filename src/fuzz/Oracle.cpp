@@ -195,17 +195,33 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
                     "differential.shards" + itostr(S) + "." + Problem,
                     Out.Findings);
       }
+      // The universe-compressed solve must expand back to the exact
+      // same 20 variables (ItemClasses partition + expansion are both
+      // on trial here, against the classic oracle).
+      GntResult Compressed =
+          solveGiveNTakeCompressed(Run->OrientedIfg, Run->OrientedProblem);
+      diffResults(Classic, Compressed,
+                  std::string("differential.compressed.") + Problem,
+                  Out.Findings);
     };
     DiffRun(R.Plan->ReadRun, "READ");
     DiffRun(R.Plan->WriteRun, "WRITE");
 
-    // Layer 4: the production path itself, re-run sharded, must reach
-    // an identical outcome signature.
+    // Layer 4: the production path itself, re-run under each solver
+    // strategy knob, must reach an identical outcome signature.
     PipelineResult Sharded = compilePipeline(Source, checkedOptions(7));
     if (resultSignature(R) != resultSignature(Sharded))
       Out.Findings.push_back(
           {"differential.pipeline.shards7",
            "resultSignature differs between serial and 7-shard compiles"});
+    PipelineOptions CompressOpts = checkedOptions();
+    CompressOpts.CompressUniverse = true;
+    PipelineResult Compressed = compilePipeline(Source, CompressOpts);
+    if (resultSignature(R) != resultSignature(Compressed))
+      Out.Findings.push_back(
+          {"differential.pipeline.compressed",
+           "resultSignature differs between uncompressed and "
+           "universe-compressed compiles"});
   }
 
   // Layer 5: dynamic C1/C3 on concrete traces.

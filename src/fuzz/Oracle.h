@@ -12,12 +12,14 @@
 ///  2. audit gate — the production pipeline with the full static audit,
 ///     the independent C1/C3/O1 verifier and -Werror: any diagnostic on
 ///     a frontend-valid input is a finding;
-///  3. artifact differential — the classic per-equation evaluator and
-///     the sharded solver (2 and 7 shards) re-solve the oriented
-///     READ/WRITE problems; all 20 dataflow variables must be
-///     byte-identical to the production arena solve (forEachGntField);
-///  4. production differential — a second pipeline compile at
-///     SolverShards=7 must produce an equal resultSignature();
+///  3. artifact differential — the classic per-equation evaluator, the
+///     sharded solver (2 and 7 shards) and the universe-compressed
+///     solver re-solve the oriented READ/WRITE problems; all 20
+///     dataflow variables must be byte-identical to the production
+///     arena solve (forEachGntField);
+///  4. production differential — pipeline compiles at SolverShards=7
+///     and at CompressUniverse=true must each produce an equal
+///     resultSignature();
 ///  5. trace simulation — the annotated program executes under several
 ///     (params, branch-seed) bindings; any dynamic C1/C3 violation is a
 ///     finding;

@@ -226,11 +226,11 @@ private:
 
 ExprPreResult gnt::runExprPre(const Program &P, const Cfg &G,
                               const IntervalFlowGraph &Ifg,
-                              unsigned SolverShards) {
+                              unsigned SolverShards, bool CompressUniverse) {
   ExprPreResult R;
   PreAnalyzer A(P, G, R);
   R.Problem = A.buildProblem();
-  R.Run = runGiveNTake(Ifg, R.Problem, SolverShards);
+  R.Run = runGiveNTake(Ifg, R.Problem, SolverShards, CompressUniverse);
 
   // LAZY placements are the classical PRE insertions; an insertion that
   // coincides with an occurrence stays an ordinary evaluation whose

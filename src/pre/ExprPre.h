@@ -76,12 +76,14 @@ struct ExprPreResult {
 
 /// Runs expression PRE over \p P. \p SolverShards > 1 solves the
 /// underlying GIVE-N-TAKE problem with the expression universe split
-/// into that many word-aligned shards; the placement is byte-identical
-/// for every shard count (the shard-invariance contract of
-/// dataflow/GiveNTake.h).
+/// into that many word-aligned shards; \p CompressUniverse solves it
+/// over expression equivalence classes. Both are strategy knobs: the
+/// placement is byte-identical in every configuration (the invariance
+/// contracts of dataflow/GiveNTake.h).
 ExprPreResult runExprPre(const Program &P, const Cfg &G,
                          const IntervalFlowGraph &Ifg,
-                         unsigned SolverShards = 0);
+                         unsigned SolverShards = 0,
+                         bool CompressUniverse = false);
 
 } // namespace gnt
 

@@ -86,6 +86,12 @@ bool decodeOptions(const JsonValue &Obj, PipelineOptions &Opts,
         return false;
       }
       Opts.SolverShards = static_cast<unsigned>(V.I);
+    } else if (Key == "compress_universe") {
+      // Also an execution strategy (universe compression is
+      // byte-identical by contract); likewise excluded from the
+      // canonical options string and thus the cache key.
+      if (!optionBool(V, Key, Opts.CompressUniverse, Error))
+        return false;
     } else {
       Error = "unknown option `" + Key + "`";
       return false;
@@ -278,10 +284,13 @@ std::string BatchServer::serve(const ServiceRequest &Req) {
     if (Miss)
       ++Metrics.CacheMisses;
     Metrics.JobLatency.record(Micros);
-    if (R)
+    if (R) {
       for (unsigned I = 0; I < NumPipelineStages; ++I)
         if (R->StageMicros[I] > 0)
           Metrics.StageLatency[I].record(R->StageMicros[I]);
+      Metrics.CompressedUniverseItems += R->CompressedUniverse;
+      Metrics.CompressedClassItems += R->CompressedClasses;
+    }
     return renderResponse(Req.Id, Payload);
   };
 

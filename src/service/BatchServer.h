@@ -21,8 +21,9 @@
 /// number; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
 /// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
 /// "writes", "annotate", "audit", "verify", "werror", "solver_shards"
-/// (integer; an execution strategy with byte-identical results for any
-/// value, so it does not participate in the result cache key).
+/// (integer) and "compress_universe" (bool) — the last two are solver
+/// execution strategies with byte-identical results for any value, so
+/// neither participates in the result cache key.
 ///
 /// One response line per request, in request order regardless of
 /// scheduling: {"id": ..., "result": {"ok": ..., "annotated": ...,

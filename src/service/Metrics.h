@@ -76,6 +76,20 @@ struct ServiceMetrics {
   /// Per-stage latency, misses only (hits run no stages).
   LatencyStats StageLatency[NumPipelineStages];
 
+  /// Universe-compression accounting summed over compiled (miss) jobs:
+  /// total original items vs total classes actually solved. Both stay
+  /// zero when no job solved with compression enabled.
+  unsigned long long CompressedUniverseItems = 0;
+  unsigned long long CompressedClassItems = 0;
+
+  /// Aggregate classes/universe ratio; 1.0 when nothing was compressed.
+  double compressionRatio() const {
+    return CompressedUniverseItems
+               ? static_cast<double>(CompressedClassItems) /
+                     static_cast<double>(CompressedUniverseItems)
+               : 1.0;
+  }
+
   double throughputJobsPerSec() const {
     return WallMicros > 0
                ? static_cast<double>(Jobs) / (WallMicros / 1e6)
@@ -102,6 +116,14 @@ struct ServiceMetrics {
                   "cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
                   CacheHits, CacheMisses, cacheHitRate() * 100.0);
     R += Buf;
+    if (CompressedUniverseItems) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "compression: %llu items -> %llu classes "
+                    "(ratio %.3f)\n",
+                    CompressedUniverseItems, CompressedClassItems,
+                    compressionRatio());
+      R += Buf;
+    }
     auto Line = [&R, &Buf](const char *Name, const LatencyStats &L) {
       if (L.empty())
         return;
@@ -135,6 +157,14 @@ struct ServiceMetrics {
     W.key("misses").value(static_cast<long long>(CacheMisses));
     W.key("hit_rate");
     jsonDouble(W, cacheHitRate());
+    W.endObject();
+    W.key("compression");
+    W.beginObject();
+    W.key("universe_items")
+        .value(static_cast<long long>(CompressedUniverseItems));
+    W.key("class_items").value(static_cast<long long>(CompressedClassItems));
+    W.key("ratio");
+    jsonDouble(W, compressionRatio());
     W.endObject();
     W.key("latency_micros");
     W.beginObject();

@@ -53,9 +53,11 @@ std::string PipelineOptions::canonical() const {
   R += ";audit=" + itostr(Audit);
   R += ";verify=" + itostr(Verify);
   R += ";werror=" + itostr(Werror);
-  // SolverShards is intentionally absent: sharding the solve cannot
-  // change any output byte (the shard-invariance contract), so requests
-  // differing only in shard count must share a cache entry.
+  // SolverShards and CompressUniverse are intentionally absent: both
+  // are solver execution strategies that cannot change any output byte
+  // (the invariance contracts of dataflow/GiveNTake.h), so requests
+  // differing only in those knobs must share a cache entry. The
+  // cache-key audit test in PipelineTest guards this list from drift.
   return R;
 }
 
@@ -113,6 +115,12 @@ void auditInto(PipelineResult &R, const GntRun &Run,
   R.Audit.Engine.EdgeEvaluations += A.Stats.Engine.EdgeEvaluations;
 }
 
+/// Accumulates one solve's compression accounting into the result.
+void recordCompression(PipelineResult &R, const GntCompressionStats &S) {
+  R.CompressedUniverse += S.Universe;
+  R.CompressedClasses += S.Applied ? S.Classes : S.Universe;
+}
+
 } // namespace
 
 PipelineResult Pipeline::compile(const std::string &Source) const {
@@ -163,7 +171,9 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
   if (Opts.Mode == PipelineMode::Pre) {
     {
       StageTimer T(R, PipelineStage::Solve);
-      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg, Opts.SolverShards);
+      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg, Opts.SolverShards,
+                         Opts.CompressUniverse);
+      recordCompression(R, R.Pre->Run.Result.Compression);
     }
     if (Opts.Annotate) {
       StageTimer T(R, PipelineStage::Annotate);
@@ -185,10 +195,14 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
         R.Plan = vectorizedPlacement(R.Prog, R.G, *R.Ifg);
       else if (Opts.Baseline == "lcm")
         R.Plan = lcmPlacement(R.Prog, R.G, *R.Ifg);
-      else if (Opts.Baseline.empty())
+      else if (Opts.Baseline.empty()) {
         R.Plan = generateComm(R.Prog, R.G, *R.Ifg, Opts.Comm,
-                              Opts.SolverShards);
-      else {
+                              Opts.SolverShards, Opts.CompressUniverse);
+        if (R.Plan->ReadRun)
+          recordCompression(R, R.Plan->ReadRun->Result.Compression);
+        if (R.Plan->WriteRun)
+          recordCompression(R, R.Plan->WriteRun->Result.Compression);
+      } else {
         R.Diags.add(makeError(CheckId::Engine,
                               "unknown baseline `" + Opts.Baseline + "`"));
         return R;

@@ -105,8 +105,16 @@ struct PipelineOptions {
   /// requests that differ only in shard count share one cache entry.
   unsigned SolverShards = 0;
 
+  /// Solve the GIVE-N-TAKE problems over the compressed universe of
+  /// item equivalence classes (see solveGiveNTakeCompressed). Like
+  /// SolverShards this is an execution strategy with a byte-identity
+  /// contract, so it too is deliberately NOT part of canonical(): a
+  /// compressed and an uncompressed request share one cache entry.
+  bool CompressUniverse = false;
+
   /// Stable, human-readable key=value rendering of every knob that can
-  /// change output (SolverShards cannot, see above, and is excluded).
+  /// change output (SolverShards and CompressUniverse cannot, see
+  /// above, and are excluded).
   std::string canonical() const;
 };
 
@@ -142,6 +150,20 @@ struct PipelineResult {
 
   /// Last stage that ran (even partially).
   PipelineStage Reached = PipelineStage::Frontend;
+
+  /// Universe-compression accounting summed over the run's solves (two
+  /// in Comm mode with writes, one otherwise). Zero when compression
+  /// was off or the solve stage did not run.
+  unsigned CompressedUniverse = 0; ///< Total original items.
+  unsigned CompressedClasses = 0;  ///< Total classes actually solved.
+
+  /// Classes / universe across the run's solves, or 1.0 when no solve
+  /// ran. Smaller is better; 1.0 means nothing was saved.
+  double compressionRatio() const {
+    return CompressedUniverse == 0
+               ? 1.0
+               : static_cast<double>(CompressedClasses) / CompressedUniverse;
+  }
 
   bool ok() const { return !Diags.hasErrors(); }
 

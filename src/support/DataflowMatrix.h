@@ -31,6 +31,12 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define GNT_DATAFLOWMATRIX_HAVE_MMAP 1
+#endif
 
 namespace gnt {
 
@@ -43,6 +49,10 @@ public:
   /// Tag requesting an uninitialized arena (see the tagged constructor).
   struct UninitTag {};
   static constexpr UninitTag Uninit{};
+
+  /// Tag requesting a lazily zeroed arena (see the tagged constructor).
+  struct LazyZeroedTag {};
+  static constexpr LazyZeroedTag LazyZeroed{};
 
   DataflowMatrix() = default;
 
@@ -62,7 +72,64 @@ public:
       : NRows(NumRows), NBits(NumBits),
         WPerRow((NumBits + WordBits - 1) / WordBits),
         NWords(static_cast<std::size_t>(NumRows) * WPerRow),
-        Words(new Word[NWords]) {}
+        Words(allocWords(NWords)) {}
+
+  /// Creates the arena zeroed, but lazily: the storage comes straight
+  /// from an anonymous mmap, so pages that are never written are
+  /// backed by the kernel's shared zero page and cost neither a memset
+  /// pass nor physical memory. Worth it only when whole pages stay
+  /// untouched — the compressed solve uses it for the all-bottom
+  /// result, whose matrix is never written at all. Writers that touch
+  /// even a few bytes of every page (rows are typically smaller than a
+  /// page, so any per-row write does) fault the entire mapping and pay
+  /// more than an eager memset; they should use Uninit and assign
+  /// every word. Falls back to an eager zero-fill where mmap is
+  /// unavailable.
+  DataflowMatrix(unsigned NumRows, unsigned NumBits, LazyZeroedTag)
+      : NRows(NumRows), NBits(NumBits),
+        WPerRow((NumBits + WordBits - 1) / WordBits),
+        NWords(static_cast<std::size_t>(NumRows) * WPerRow) {
+#if GNT_DATAFLOWMATRIX_HAVE_MMAP
+    if (NWords) {
+      void *P = ::mmap(nullptr, NWords * sizeof(Word),
+                       PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS,
+                       -1, 0);
+      if (P == MAP_FAILED)
+        throw std::bad_alloc();
+      Words = static_cast<Word *>(P);
+      Mapped = true;
+      return;
+    }
+#endif
+    Words = allocWords(NWords);
+    clear();
+  }
+
+  DataflowMatrix(DataflowMatrix &&RHS) noexcept
+      : NRows(RHS.NRows), NBits(RHS.NBits), WPerRow(RHS.WPerRow),
+        NWords(RHS.NWords), Words(RHS.Words), Mapped(RHS.Mapped) {
+    RHS.Words = nullptr;
+    RHS.NWords = 0;
+    RHS.Mapped = false;
+  }
+  DataflowMatrix &operator=(DataflowMatrix &&RHS) noexcept {
+    if (this != &RHS) {
+      release();
+      NRows = RHS.NRows;
+      NBits = RHS.NBits;
+      WPerRow = RHS.WPerRow;
+      NWords = RHS.NWords;
+      Words = RHS.Words;
+      Mapped = RHS.Mapped;
+      RHS.Words = nullptr;
+      RHS.NWords = 0;
+      RHS.Mapped = false;
+    }
+    return *this;
+  }
+  DataflowMatrix(const DataflowMatrix &) = delete;
+  DataflowMatrix &operator=(const DataflowMatrix &) = delete;
+  ~DataflowMatrix() { release(); }
 
   unsigned rows() const { return NRows; }
   unsigned bits() const { return NBits; }
@@ -77,17 +144,17 @@ public:
 
   Word *row(unsigned R) {
     assert(R < NRows && "row out of range");
-    return Words.get() + static_cast<std::size_t>(R) * WPerRow;
+    return Words + static_cast<std::size_t>(R) * WPerRow;
   }
   const Word *row(unsigned R) const {
     assert(R < NRows && "row out of range");
-    return Words.get() + static_cast<std::size_t>(R) * WPerRow;
+    return Words + static_cast<std::size_t>(R) * WPerRow;
   }
 
   /// Zeroes every row.
   void clear() {
     if (NWords)
-      std::memset(Words.get(), 0, NWords * sizeof(Word));
+      std::memset(Words, 0, NWords * sizeof(Word));
   }
 
   /// Copies \p BV (which must have exactly bits() bits) into row \p R.
@@ -120,11 +187,30 @@ public:
   }
 
 private:
+  static Word *allocWords(std::size_t N) {
+    return N ? new Word[N] : nullptr;
+  }
+
+  void release() {
+    if (!Words)
+      return;
+#if GNT_DATAFLOWMATRIX_HAVE_MMAP
+    if (Mapped) {
+      ::munmap(Words, NWords * sizeof(Word));
+      Words = nullptr;
+      return;
+    }
+#endif
+    delete[] Words;
+    Words = nullptr;
+  }
+
   unsigned NRows = 0;
   unsigned NBits = 0;
   unsigned WPerRow = 0;
   std::size_t NWords = 0;
-  std::unique_ptr<Word[]> Words; ///< Matrix storage; move-only on purpose.
+  Word *Words = nullptr; ///< Matrix storage; the class is move-only.
+  bool Mapped = false;   ///< Storage came from mmap, not new[].
 };
 
 } // namespace gnt

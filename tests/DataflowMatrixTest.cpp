@@ -6,6 +6,9 @@
 
 #include "support/DataflowMatrix.h"
 
+#include "TestUtil.h"
+#include "dataflow/GiveNTake.h"
+
 #include <gtest/gtest.h>
 
 using namespace gnt;
@@ -67,6 +70,95 @@ TEST(DataflowMatrix, ClearZeroesEverything) {
   M.clear();
   for (unsigned R = 0; R != 4; ++R)
     EXPECT_TRUE(M.rowNone(R)) << "row " << R;
+}
+
+TEST(DataflowMatrix, UninitArenaIsUsableOnceEveryRowIsWritten) {
+  // The Uninit tag's contract: rows hold garbage until assigned, and a
+  // writer that assigns (or zeroes) every row gets a fully defined
+  // matrix with the tail-word invariant intact. This is the pattern of
+  // both the solver export and the compressed-expansion path.
+  for (unsigned Bits : {1u, 63u, 64u, 65u, 130u, 200u}) {
+    DataflowMatrix M(6, Bits, DataflowMatrix::Uninit);
+    BitVector Odd(Bits);
+    for (unsigned I = 1; I < Bits; I += 2)
+      Odd.set(I);
+    for (unsigned R = 0; R != 6; ++R) {
+      if (R % 2)
+        M.assignRow(R, Odd);
+      else
+        M.setRow(R);
+    }
+    for (unsigned R = 0; R != 6; ++R) {
+      BitVector Row = M.extractRow(R);
+      EXPECT_EQ(Row.count(), R % 2 ? Odd.count() : Bits)
+          << "bits " << Bits << " row " << R;
+      const DataflowMatrix::Word *W = M.row(R);
+      EXPECT_EQ(W[M.wordsPerRow() - 1] & ~M.tailMask(), 0u)
+          << "bits " << Bits << " row " << R;
+    }
+  }
+}
+
+TEST(DataflowMatrix, LazyZeroedReadsAsZeroAndAcceptsWrites) {
+  // The lazily zeroed arena must be indistinguishable from an eagerly
+  // cleared one: all-zero rows on first read (at widths exercising the
+  // tail word both full and partial), and ordinary writes afterwards.
+  for (unsigned Bits : {1u, 63u, 64u, 65u, 130u, 4096u}) {
+    DataflowMatrix M(4, Bits, DataflowMatrix::LazyZeroed);
+    for (unsigned R = 0; R != 4; ++R)
+      EXPECT_TRUE(M.rowNone(R)) << "bits " << Bits << " row " << R;
+    M.setRow(2);
+    EXPECT_EQ(M.extractRow(2).count(), Bits) << "bits " << Bits;
+    EXPECT_TRUE(M.rowNone(1)) << "bits " << Bits;
+    EXPECT_TRUE(M.rowNone(3)) << "bits " << Bits;
+  }
+}
+
+TEST(DataflowMatrix, MoveTransfersMappedStorage) {
+  DataflowMatrix A(3, 4096, DataflowMatrix::LazyZeroed);
+  A.setRow(1);
+  DataflowMatrix B(std::move(A));
+  EXPECT_EQ(B.extractRow(1).count(), 4096u);
+  EXPECT_TRUE(B.rowNone(0));
+  DataflowMatrix C;
+  C = std::move(B);
+  EXPECT_EQ(C.extractRow(1).count(), 4096u);
+  EXPECT_TRUE(C.rowNone(2));
+}
+
+TEST(DataflowMatrix, GntResultCopyOutlivesItsArena) {
+  // The solver's result vectors borrow their words from the arena the
+  // GntResult keeps alive; copying a result must deep-copy into owned
+  // storage so the copy survives the original (and its arena) being
+  // destroyed. A use-after-free here is exactly what ASan builds of
+  // this test would catch.
+  auto P = test::Pipeline::fromSource("continue\ncontinue\n");
+  ASSERT_TRUE(P.Ifg.has_value());
+  unsigned N = P.Ifg->size();
+  GntProblem Prob(N, 130); // Partial tail word.
+  for (unsigned Item = 0; Item != 130; ++Item) {
+    Prob.TakeInit[Item % N].set(Item);
+    if (Item % 3 == 0)
+      Prob.GiveInit[(Item / N) % N].set(Item);
+  }
+  GntResult Copy;
+  BitVector TakeAtOne;
+  {
+    GntResult R = solveGiveNTake(*P.Ifg, Prob);
+    ASSERT_NE(R.Arena, nullptr);
+    TakeAtOne = BitVector::fromWords(R.Take[1].words(), R.Take[1].size());
+    Copy = R;           // Deep copy: every BitVector now owns its words.
+    Copy.Arena.reset(); // Drop the copied keep-alive handle on purpose.
+  }                     // Original result and the arena die here.
+  ASSERT_EQ(Copy.Take.size(), TakeAtOne.size() ? Copy.Take.size() : 0u);
+  EXPECT_EQ(Copy.Take[1], TakeAtOne);
+  forEachGntField(Copy, [&](const char *Name,
+                            const std::vector<BitVector> &V) {
+    for (const BitVector &BV : V) {
+      EXPECT_EQ(BV.size(), 130u) << Name;
+      (void)BV.count(); // Touch every word: must be owned storage.
+    }
+  });
 }
 
 TEST(DataflowMatrix, RowsAreIndependent) {

@@ -231,6 +231,126 @@ TEST(Pipeline, SolverShardsDoNotChangeOutputOrCacheKey) {
   }
 }
 
+TEST(Pipeline, CompressUniverseDoesNotChangeOutputOrCacheKey) {
+  // Same contract as SolverShards, for the universe-compression layer:
+  // identical compiled output, identical cache key, and the two knobs
+  // must compose without becoming visible.
+  PipelineOptions Plain;
+  Plain.Audit = true;
+  PipelineResult Base = compilePipeline(kBranchSource, Plain);
+  ASSERT_TRUE(Base.ok()) << Base.Diags.renderText();
+  for (unsigned Shards : {0u, 7u}) {
+    PipelineOptions Opts = Plain;
+    Opts.CompressUniverse = true;
+    Opts.SolverShards = Shards;
+    EXPECT_EQ(Opts.canonical(), Plain.canonical()) << "shards " << Shards;
+    EXPECT_EQ(pipelineCacheKey(kBranchSource, Opts),
+              pipelineCacheKey(kBranchSource, Plain))
+        << "shards " << Shards;
+    PipelineResult R = compilePipeline(kBranchSource, Opts);
+    EXPECT_EQ(R.Annotated, Base.Annotated) << "shards " << Shards;
+    EXPECT_EQ(R.Diags.renderJson(), Base.Diags.renderJson())
+        << "shards " << Shards;
+  }
+  // The uncompressed run reports no compression accounting.
+  EXPECT_EQ(Base.CompressedUniverse, 0u);
+  EXPECT_EQ(Base.compressionRatio(), 1.0);
+}
+
+TEST(Pipeline, CacheKeyAuditSeparatesStrategyFromSemantics) {
+  // The audit behind the service cache: every solver-strategy knob must
+  // leave the cache key untouched (requests differing only in strategy
+  // share one entry), and every output-affecting knob must change it
+  // (no stale payloads served across semantic differences). Knobs added
+  // to PipelineOptions belong on exactly one of these lists.
+  const PipelineOptions Def;
+  const std::uint64_t DefKey = pipelineCacheKey(kBranchSource, Def);
+
+  // Strategy knobs: cache hit expected.
+  std::vector<std::pair<const char *, PipelineOptions>> Strategy;
+  {
+    PipelineOptions O;
+    O.SolverShards = 16;
+    Strategy.emplace_back("solver_shards", O);
+  }
+  {
+    PipelineOptions O;
+    O.CompressUniverse = true;
+    Strategy.emplace_back("compress_universe", O);
+  }
+  {
+    PipelineOptions O;
+    O.SolverShards = 7;
+    O.CompressUniverse = true;
+    Strategy.emplace_back("both strategies", O);
+  }
+  for (const auto &[Name, O] : Strategy) {
+    EXPECT_EQ(O.canonical(), Def.canonical()) << Name;
+    EXPECT_EQ(pipelineCacheKey(kBranchSource, O), DefKey) << Name;
+  }
+
+  // Output-affecting knobs: cache miss expected, each with a distinct
+  // key (pairwise, so no two option sets alias one entry).
+  std::vector<std::pair<const char *, PipelineOptions>> Semantic;
+  {
+    PipelineOptions O;
+    O.Mode = PipelineMode::Pre;
+    Semantic.emplace_back("mode", O);
+  }
+  {
+    PipelineOptions O;
+    O.StopAfter = PipelineStop::AfterCfg;
+    Semantic.emplace_back("stop_after", O);
+  }
+  {
+    PipelineOptions O;
+    O.Baseline = "lcm";
+    Semantic.emplace_back("baseline", O);
+  }
+  {
+    PipelineOptions O;
+    O.Annotate = false;
+    Semantic.emplace_back("annotate", O);
+  }
+  {
+    PipelineOptions O;
+    O.Audit = true;
+    Semantic.emplace_back("audit", O);
+  }
+  {
+    PipelineOptions O;
+    O.Verify = true;
+    Semantic.emplace_back("verify", O);
+  }
+  {
+    PipelineOptions O;
+    O.Werror = true;
+    Semantic.emplace_back("werror", O);
+  }
+  {
+    PipelineOptions O;
+    O.Comm.Atomic = true;
+    Semantic.emplace_back("atomic", O);
+  }
+  {
+    PipelineOptions O;
+    O.Comm.HoistZeroTrip = false; // Default is true (the paper's choice).
+    Semantic.emplace_back("hoist_zero_trip", O);
+  }
+  {
+    PipelineOptions O;
+    O.Comm.OwnerComputes = true;
+    Semantic.emplace_back("owner_computes", O);
+  }
+  std::vector<std::uint64_t> Keys{DefKey};
+  for (const auto &[Name, O] : Semantic) {
+    std::uint64_t Key = pipelineCacheKey(kBranchSource, O);
+    for (std::uint64_t Seen : Keys)
+      EXPECT_NE(Key, Seen) << Name;
+    Keys.push_back(Key);
+  }
+}
+
 TEST(Pipeline, ResultSignatureIsShardInvariantAndDiscriminating) {
   // The fuzzer's production-path differential compares resultSignature()
   // instead of re-walking every artifact, so the signature must be equal

@@ -110,6 +110,54 @@ TEST(ServiceRequest, DecodesSolverShards) {
   }
 }
 
+TEST(ServiceRequest, DecodesCompressUniverse) {
+  ServiceRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"source\":\"continue\\n\",\"options\":{\"compress_universe\":true}}",
+      "l", Req, Error))
+      << Error;
+  EXPECT_TRUE(Req.Opts.CompressUniverse);
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"source\":\"continue\\n\",\"options\":{\"compress_universe\":false}}",
+      "l", Req, Error))
+      << Error;
+  EXPECT_FALSE(Req.Opts.CompressUniverse);
+
+  // Like every boolean option, non-bool values are rejected, not
+  // coerced.
+  for (const char *Bad : {"1", "\"true\"", "null"}) {
+    std::string Line = std::string("{\"source\":\"x\",\"options\":"
+                                   "{\"compress_universe\":") +
+                       Bad + "}}";
+    EXPECT_FALSE(parseServiceRequest(Line, "l", Req, Error)) << Bad;
+    EXPECT_NE(Error.find("compress_universe"), std::string::npos) << Bad;
+  }
+}
+
+TEST(BatchServer, CompressUniverseSharesOneCacheEntry) {
+  // Universe compression is an execution strategy like solver_shards:
+  // requests differing only in that knob (or in both strategy knobs)
+  // must resolve to one cache entry with identical payloads.
+  BatchServer Server;
+  std::vector<std::string> Out = Server.run({
+      "{\"id\":\"plain\",\"source\":\"distribute x\\narray u\\n"
+      "do i = 1, n\\n  u(i) = x(i)\\nenddo\\n\"}",
+      "{\"id\":\"compressed\",\"source\":\"distribute x\\narray u\\n"
+      "do i = 1, n\\n  u(i) = x(i)\\nenddo\\n\",\"options\":"
+      "{\"compress_universe\":true}}",
+      "{\"id\":\"both\",\"source\":\"distribute x\\narray u\\n"
+      "do i = 1, n\\n  u(i) = x(i)\\nenddo\\n\",\"options\":"
+      "{\"compress_universe\":true,\"solver_shards\":4}}",
+  });
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Server.metrics().CacheHits, 2u);
+  EXPECT_EQ(Server.metrics().CacheMisses, 1u);
+  std::string A = Out[0].substr(Out[0].find("\"result\""));
+  for (unsigned I = 1; I != 3; ++I)
+    EXPECT_EQ(A, Out[I].substr(Out[I].find("\"result\""))) << Out[I];
+}
+
 TEST(BatchServer, SolverShardsShareOneCacheEntry) {
   // Two requests differing only in shard count must compile once and
   // hit the cache on the second, returning identical payloads.

@@ -70,6 +70,10 @@ void usage(std::FILE *To) {
       "  --solver-shards N solve the item universe in N word-aligned\n"
       "                    shards in parallel (output is byte-identical\n"
       "                    to the serial solve for every N)\n"
+      "  --compress-universe[=off]\n"
+      "                    solve over item equivalence classes instead of\n"
+      "                    the full universe (byte-identical output;\n"
+      "                    =off restores the uncompressed solve)\n"
       "\n"
       "checking:\n"
       "  --verify          check C1/C3/O1 and exit nonzero on violations\n"
@@ -152,6 +156,10 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
         return false;
       }
       O.Pipe.SolverShards = static_cast<unsigned>(Shards);
+    } else if (A == "--compress-universe") {
+      O.Pipe.CompressUniverse = true;
+    } else if (A == "--compress-universe=off") {
+      O.Pipe.CompressUniverse = false;
     } else if (A == "--help") {
       usage(stdout);
       Exit = 0;
@@ -290,6 +298,11 @@ int main(int Argc, char **Argv) {
       for (const auto &[Kind, Count] : Counts)
         std::printf(" %s=%u", commOpName(Kind), Count);
       std::printf("\n");
+      if (R.CompressedUniverse > 0)
+        std::printf("! universe compression: %u items -> %u classes "
+                    "(ratio %.3f)\n",
+                    R.CompressedUniverse, R.CompressedClasses,
+                    R.compressionRatio());
     }
 
     if (O.SimulateN >= 0) {
