@@ -47,6 +47,7 @@
 #include "analysis/ReferenceSolver.h"
 #include "support/Support.h"
 
+#include <algorithm>
 #include <array>
 #include <set>
 #include <utility>
@@ -408,6 +409,8 @@ private:
     Out.Stats.Engine.Iterations += D.Stats.Iterations;
     Out.Stats.Engine.NodeVisits += D.Stats.NodeVisits;
     Out.Stats.Engine.EdgeEvaluations += D.Stats.EdgeEvaluations;
+    Out.Stats.Engine.WorklistPeak =
+        std::max(Out.Stats.Engine.WorklistPeak, D.Stats.WorklistPeak);
     return D;
   }
 

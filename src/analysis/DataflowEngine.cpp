@@ -6,6 +6,7 @@
 
 #include "analysis/DataflowEngine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 
@@ -120,6 +121,7 @@ private:
       Work.assign(Pre.begin(), Pre.end());
     else
       Work.assign(Pre.rbegin(), Pre.rend());
+    R.Stats.WorklistPeak = static_cast<unsigned>(Work.size());
     while (!Work.empty()) {
       NodeId Node = Work.front();
       Work.pop_front();
@@ -132,6 +134,8 @@ private:
           InWork[S] = 1;
           Work.push_back(S);
         }
+      R.Stats.WorklistPeak = std::max(
+          R.Stats.WorklistPeak, static_cast<unsigned>(Work.size()));
     }
   }
 

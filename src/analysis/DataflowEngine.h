@@ -87,6 +87,7 @@ struct DataflowStats {
   unsigned Iterations = 0;      ///< Sweeps (RoundRobin) or pops (Worklist).
   unsigned NodeVisits = 0;      ///< Node transfer evaluations.
   unsigned EdgeEvaluations = 0; ///< Edge value computations.
+  unsigned WorklistPeak = 0;    ///< Max worklist length (0 for RoundRobin).
 };
 
 /// Fixed-point solution. For forward problems In[n] is the value at the

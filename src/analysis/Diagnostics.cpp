@@ -47,6 +47,8 @@ const char *gnt::checkIdName(CheckId C) {
     return "PARSE";
   case CheckId::Build:
     return "BUILD";
+  case CheckId::Spec:
+    return "SPEC";
   }
   gntUnreachable("covered switch");
 }
@@ -136,7 +138,8 @@ std::string DiagnosticSet::renderText() const {
   return R;
 }
 
-std::string DiagnosticSet::renderJson() const {
+std::string DiagnosticSet::renderJson(const std::string &ExtraKey,
+                                      const std::string &ExtraJson) const {
   std::string R = "{\"diagnostics\":[";
   for (size_t I = 0; I != Diags.size(); ++I) {
     if (I)
@@ -148,6 +151,9 @@ std::string DiagnosticSet::renderJson() const {
   R += ",\"warnings\":" + itostr(count(DiagSeverity::Warning));
   R += ",\"notes\":" + itostr(count(DiagSeverity::Note));
   R += ",\"total\":" + itostr(static_cast<long long>(Diags.size()));
-  R += "}}";
+  R += "}";
+  if (!ExtraKey.empty())
+    R += ",\"" + jsonEscape(ExtraKey) + "\":" + ExtraJson;
+  R += "}";
   return R;
 }

@@ -45,6 +45,7 @@ enum class CheckId {
   Engine, ///< Internal failures of an analysis pass itself.
   Parse,  ///< Frontend: the source failed to parse.
   Build,  ///< CFG/interval construction failed (labels, irreducibility).
+  Spec,   ///< A user-specified analysis spec failed parsing or linting.
 };
 
 /// Short stable name used in messages and JSON ("C1", "O3'", ...).
@@ -103,8 +104,13 @@ public:
   /// One line per diagnostic.
   std::string renderText() const;
 
-  /// {"diagnostics": [...], "summary": {...}} rendering.
-  std::string renderJson() const;
+  /// {"diagnostics": [...], "summary": {...}} rendering. When \p
+  /// ExtraKey is non-empty, one more top-level member is appended with
+  /// \p ExtraJson emitted verbatim as its (pre-rendered) value — the
+  /// hook `gntc --audit-json` uses to attach the engine convergence
+  /// statistics without widening every other caller's output.
+  std::string renderJson(const std::string &ExtraKey = std::string(),
+                         const std::string &ExtraJson = std::string()) const;
 
 private:
   std::vector<Diagnostic> Diags;

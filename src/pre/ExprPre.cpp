@@ -224,6 +224,15 @@ private:
 
 } // namespace
 
+GntProblem gnt::buildExprPreProblem(const Program &P, const Cfg &G,
+                                    std::vector<std::string> &ExprNames) {
+  ExprPreResult R;
+  PreAnalyzer A(P, G, R);
+  GntProblem Prob = A.buildProblem();
+  ExprNames = std::move(R.Exprs);
+  return Prob;
+}
+
 ExprPreResult gnt::runExprPre(const Program &P, const Cfg &G,
                               const IntervalFlowGraph &Ifg,
                               unsigned SolverShards, bool CompressUniverse) {

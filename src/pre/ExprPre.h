@@ -85,6 +85,17 @@ ExprPreResult runExprPre(const Program &P, const Cfg &G,
                          unsigned SolverShards = 0,
                          bool CompressUniverse = false);
 
+/// Builds the expression-PRE problem for \p P over \p G without solving
+/// it: items are the maximal speculable expressions (canonical texts
+/// returned through \p ExprNames), TAKE_init their evaluation sites,
+/// STEAL_init the operand-assignment and loop-index kills, GIVE_init
+/// empty. This is the `exprs` universe of the user-specified analysis
+/// subsystem (analysis/SpecCompile.h); very-busy-expressions and
+/// friends reuse exactly the item granularity PRE places temporaries
+/// at.
+GntProblem buildExprPreProblem(const Program &P, const Cfg &G,
+                               std::vector<std::string> &ExprNames);
+
 } // namespace gnt
 
 #endif // GNT_PRE_EXPRPRE_H

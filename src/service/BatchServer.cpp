@@ -6,6 +6,7 @@
 
 #include "service/BatchServer.h"
 
+#include "support/Hashing.h"
 #include "support/JsonParse.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
@@ -92,6 +93,20 @@ bool decodeOptions(const JsonValue &Obj, PipelineOptions &Opts,
       // canonical options string and thus the cache key.
       if (!optionBool(V, Key, Opts.CompressUniverse, Error))
         return false;
+    } else if (Key == "analyses") {
+      // User-specified analyses: built-in names or full spec texts,
+      // run differentially after the solve. Semantic (cached).
+      if (!V.isArray()) {
+        Error = "option `analyses` must be an array of strings";
+        return false;
+      }
+      for (const JsonValue &E : V.Elems) {
+        if (!E.isString()) {
+          Error = "option `analyses` must be an array of strings";
+          return false;
+        }
+        Opts.ExtraAnalyses.push_back(E.S);
+      }
     } else {
       Error = "unknown option `" + Key + "`";
       return false;
@@ -184,6 +199,23 @@ std::string gnt::renderResultPayload(const PipelineResult &R) {
         static_cast<long long>(R.Pre->Insertions.size()));
     W.key("redundant").value(static_cast<long long>(R.Pre->Redundant.size()));
     W.endObject();
+  }
+  if (!R.Analyses.empty()) {
+    // Deterministic per-analysis summary: name, verdict, universe
+    // size, and the solution hash as the cross-configuration
+    // invariance witness. No statistics here — cached and fresh
+    // responses must be byte-identical.
+    W.beginArray("analyses");
+    for (const AnalysisRun &A : R.Analyses) {
+      W.beginObject();
+      W.key("name").value(A.Name);
+      W.key("ok").value(A.ok());
+      W.key("universe").value(specUniverseName(A.Universe));
+      W.key("items").value(A.UniverseSize);
+      W.key("hash").value(hashToHex(A.solutionHash()));
+      W.endObject();
+    }
+    W.endArray();
   }
   W.key("diagnostics").raw(R.Diags.renderJson());
   W.endObject();

@@ -21,9 +21,12 @@
 /// number; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
 /// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
 /// "writes", "annotate", "audit", "verify", "werror", "solver_shards"
-/// (integer) and "compress_universe" (bool) — the last two are solver
-/// execution strategies with byte-identical results for any value, so
-/// neither participates in the result cache key.
+/// (integer), "compress_universe" (bool) and "analyses" (array of
+/// strings: built-in analysis names or full spec texts, run
+/// differentially after the solve) — solver_shards and
+/// compress_universe are solver execution strategies with
+/// byte-identical results for any value, so neither participates in
+/// the result cache key; "analyses" changes the payload and does.
 ///
 /// One response line per request, in request order regardless of
 /// scheduling: {"id": ..., "result": {"ok": ..., "annotated": ...,

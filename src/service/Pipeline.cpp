@@ -13,6 +13,7 @@
 #include "support/Hashing.h"
 #include "support/Support.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace gnt;
@@ -31,6 +32,8 @@ const char *gnt::pipelineStageName(PipelineStage S) {
     return "annotate";
   case PipelineStage::Audit:
     return "audit";
+  case PipelineStage::Analyze:
+    return "analyze";
   }
   gntUnreachable("covered switch");
 }
@@ -53,6 +56,11 @@ std::string PipelineOptions::canonical() const {
   R += ";audit=" + itostr(Audit);
   R += ";verify=" + itostr(Verify);
   R += ";werror=" + itostr(Werror);
+  R += ";analyses=" + itostr(static_cast<long long>(ExtraAnalyses.size()));
+  for (const std::string &A : ExtraAnalyses) {
+    R += '\x1f'; // Unit separator: spec texts may contain ';' and '='.
+    R += A;
+  }
   // SolverShards and CompressUniverse are intentionally absent: both
   // are solver execution strategies that cannot change any output byte
   // (the invariance contracts of dataflow/GiveNTake.h), so requests
@@ -113,6 +121,8 @@ void auditInto(PipelineResult &R, const GntRun &Run,
   R.Audit.Engine.Iterations += A.Stats.Engine.Iterations;
   R.Audit.Engine.NodeVisits += A.Stats.Engine.NodeVisits;
   R.Audit.Engine.EdgeEvaluations += A.Stats.Engine.EdgeEvaluations;
+  R.Audit.Engine.WorklistPeak =
+      std::max(R.Audit.Engine.WorklistPeak, A.Stats.Engine.WorklistPeak);
 }
 
 /// Accumulates one solve's compression accounting into the result.
@@ -235,6 +245,22 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
     }
   }
 
+  // User-specified analyses, each solved differentially on both
+  // backends under the run's strategy knobs.
+  if (!Opts.ExtraAnalyses.empty()) {
+    StageTimer T(R, PipelineStage::Analyze);
+    for (const std::string &Entry : Opts.ExtraAnalyses) {
+      AnalysisRun Run = runAnalysisSpec(Entry, R.Prog, R.G, *R.Ifg,
+                                        Opts.SolverShards,
+                                        Opts.CompressUniverse);
+      for (Diagnostic D : Run.Diags.all()) {
+        D.Message = "analyze(" + Run.Name + "): " + D.Message;
+        R.Diags.add(std::move(D));
+      }
+      R.Analyses.push_back(std::move(Run));
+    }
+  }
+
   if (Opts.Werror)
     R.Diags.promoteToErrors();
   return R;
@@ -268,6 +294,12 @@ std::uint64_t gnt::resultSignature(const PipelineResult &R) {
     H = fnv1aAppend(H, ";pre_redundant=" +
                            itostr(static_cast<long long>(
                                R.Pre->Redundant.size())));
+  }
+  for (const AnalysisRun &A : R.Analyses) {
+    H = fnv1aAppend(H, ";analysis=" + A.Name);
+    H = fnv1aAppend(H, std::string(":") + specUniverseName(A.Universe));
+    H = fnv1aAppend(H, ":" + hashToHex(A.solutionHash()));
+    H = fnv1aAppend(H, A.ok() ? ":ok" : ":failed");
   }
   return H;
 }

@@ -28,6 +28,7 @@
 
 #include "analysis/Auditor.h"
 #include "analysis/Diagnostics.h"
+#include "analysis/SpecCompile.h"
 #include "comm/CommGen.h"
 #include "interval/IntervalFlowGraph.h"
 #include "pre/ExprPre.h"
@@ -62,8 +63,9 @@ enum class PipelineStage : unsigned {
   Solve,    ///< Reference analysis + GIVE-N-TAKE solve (or baseline/PRE).
   Annotate, ///< Rendering the annotated program.
   Audit,    ///< Static audit / verification.
+  Analyze,  ///< User-specified analyses (PipelineOptions::ExtraAnalyses).
 };
-inline constexpr unsigned NumPipelineStages = 6;
+inline constexpr unsigned NumPipelineStages = 7;
 
 /// "frontend", "cfg", ... stable lowercase stage names (metrics keys).
 const char *pipelineStageName(PipelineStage S);
@@ -112,6 +114,14 @@ struct PipelineOptions {
   /// compressed and an uncompressed request share one cache entry.
   bool CompressUniverse = false;
 
+  /// User-specified dataflow analyses to run after the solve: each
+  /// entry is a built-in name ("liveness", "availability", "very-busy",
+  /// "reaching") or a full spec text (analysis/SpecLang.h). Every run
+  /// is differential (iterative engine vs arena sweeps) and lands in
+  /// PipelineResult::Analyses; failures merge into Diags. Unlike
+  /// SolverShards this changes output, so it IS part of canonical().
+  std::vector<std::string> ExtraAnalyses;
+
   /// Stable, human-readable key=value rendering of every knob that can
   /// change output (SolverShards and CompressUniverse cannot, see
   /// above, and are excluded).
@@ -138,6 +148,12 @@ struct PipelineResult {
   /// Rendered annotated program (when Opts.Annotate and the solve
   /// stage completed).
   std::string Annotated;
+
+  /// Completed user-specified analyses (Opts.ExtraAnalyses order).
+  /// Each carries its own solution, statistics, and diagnostics; spec
+  /// and differential errors are also merged into Diags with an
+  /// "analyze(<name>): " prefix.
+  std::vector<AnalysisRun> Analyses;
 
   /// Parse/build errors, verifier findings, audit findings.
   DiagnosticSet Diags;

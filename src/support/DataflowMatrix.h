@@ -160,7 +160,8 @@ public:
   /// Copies \p BV (which must have exactly bits() bits) into row \p R.
   void assignRow(unsigned R, const BitVector &BV) {
     assert(BV.size() == NBits && "row size mismatch");
-    std::memcpy(row(R), BV.words(), WPerRow * sizeof(Word));
+    if (WPerRow)
+      std::memcpy(row(R), BV.words(), WPerRow * sizeof(Word));
   }
 
   /// Materializes row \p R as a standalone BitVector.

@@ -1,0 +1,335 @@
+//===- tests/SpecCompileTest.cpp - Spec compilation + solving ---------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for compiling analysis specs onto the production engines: the
+/// three universes, the built-in analyses, the mandatory
+/// iterative-vs-arena differential, strategy invariance (sharding and
+/// universe compression) across a generated-program battery, and the
+/// pipeline/batch-server surfaces.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "analysis/SpecCompile.h"
+#include "analysis/SpecLang.h"
+#include "gen/RandomProgram.h"
+#include "service/BatchServer.h"
+#include "service/Pipeline.h"
+#include "support/Support.h"
+
+#include <gtest/gtest.h>
+
+using namespace gnt;
+using namespace gnt::test;
+
+namespace {
+
+/// Index of the first item whose name starts with \p Prefix, or -1.
+int itemIndex(const AnalysisRun &R, const std::string &Prefix) {
+  for (unsigned I = 0; I != R.ItemNames.size(); ++I)
+    if (R.ItemNames[I].rfind(Prefix, 0) == 0)
+      return static_cast<int>(I);
+  return -1;
+}
+
+AnalysisRun run(const std::string &NameOrText, test::Pipeline &P,
+                unsigned Shards = 0, bool Compress = false) {
+  return runAnalysisSpec(NameOrText, P.Prog, P.G, *P.Ifg, Shards, Compress);
+}
+
+} // namespace
+
+TEST(SpecCompile, LivenessSemanticsOnFig11) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  Fig11Nodes N = locateFig11(P.G);
+  AnalysisRun R = run("liveness", P);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderText();
+  EXPECT_EQ(R.Universe, SpecUniverse::Items);
+  // The read sections: y(a(...)) is the *written* section, a distinct
+  // item that is never consumed.
+  int X = itemIndex(R, "x("), Y = itemIndex(R, "y(b");
+  ASSERT_GE(X, 0);
+  ASSERT_GE(Y, 0);
+  // z(k) = x(k+10) + y(b(k)) consumes both items, so both are live at
+  // the program entry (backward flow orientation: Out = node entry).
+  EXPECT_TRUE(R.Out[N.Root].test(static_cast<unsigned>(X)));
+  EXPECT_TRUE(R.Out[N.Root].test(static_cast<unsigned>(Y)));
+  // The definition y(a(i)) = 0 produces y for free: liveness of y is
+  // killed across node A (live after it, dead before it).
+  EXPECT_TRUE(R.In[N.A].test(static_cast<unsigned>(Y)));
+  EXPECT_FALSE(R.Out[N.A].test(static_cast<unsigned>(Y)));
+  // Nothing is live at the exit (boundary empty, start exit).
+  EXPECT_TRUE(R.In[N.Exit].none());
+}
+
+TEST(SpecCompile, AvailabilitySemanticsOnFig11) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  Fig11Nodes N = locateFig11(P.G);
+  AnalysisRun R = run("availability", P);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderText();
+  // The written section is what the definition produces for free.
+  int Y = itemIndex(R, "y(a");
+  ASSERT_GE(Y, 0);
+  // The y definition makes y available immediately after node A...
+  EXPECT_TRUE(R.Out[N.A].test(static_cast<unsigned>(Y)));
+  // ...but nothing is available at the entry under `boundary empty`.
+  EXPECT_TRUE(R.In[N.Root].none());
+}
+
+TEST(SpecCompile, ExprsUniverseServesVeryBusy) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  AnalysisRun R = run("very-busy", P);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderText();
+  EXPECT_EQ(R.Universe, SpecUniverse::Exprs);
+  EXPECT_GE(R.UniverseSize, 1u) << "fig11 has a speculable RHS expression";
+  EXPECT_EQ(R.ItemNames.size(), R.UniverseSize);
+}
+
+TEST(SpecCompile, DefsUniverseSitesReachTheirDownstream) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  Fig11Nodes N = locateFig11(P.G);
+  AnalysisRun R = run("reaching", P);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderText();
+  EXPECT_EQ(R.Universe, SpecUniverse::Defs);
+  ASSERT_GE(R.UniverseSize, 1u);
+  // Site names carry the "item@node" granularity.
+  int Site = -1;
+  for (unsigned I = 0; I != R.ItemNames.size(); ++I)
+    if (R.ItemNames[I].find("@n") != std::string::npos &&
+        R.ItemNames[I].rfind("y(", 0) == 0)
+      Site = static_cast<int>(I);
+  ASSERT_GE(Site, 0) << "no definition site for y";
+  // The y(a(i)) definition reaches the loop exit path downstream.
+  EXPECT_TRUE(R.Out[N.A].test(static_cast<unsigned>(Site)));
+  EXPECT_FALSE(R.In[N.Root].test(static_cast<unsigned>(Site)))
+      << "a definition reached upstream of itself";
+}
+
+TEST(SpecCompile, CustomSpecTextRunsEndToEnd) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  AnalysisRun R = run("analysis anti\n"
+                      "universe items\n"
+                      "direction backward\n"
+                      "confluence all\n"
+                      "boundary empty\n"
+                      "transfer out = (in - give) | take\n",
+                      P);
+  EXPECT_TRUE(R.ok()) << R.Diags.renderText();
+  EXPECT_EQ(R.Name, "anti");
+}
+
+TEST(SpecCompile, UnknownBuiltinNameIsAStructuredError) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  AnalysisRun R = run("dominance", P);
+  EXPECT_FALSE(R.ok());
+  bool Found = false;
+  for (const Diagnostic &D : R.Diags.all())
+    Found |= D.Message.find("unknown-analysis") != std::string::npos &&
+             !D.FixHint.empty();
+  EXPECT_TRUE(Found) << R.Diags.renderText();
+}
+
+TEST(SpecCompile, MalformedSpecYieldsDiagnosticsNotASolve) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  AnalysisRun R = run("universe galaxies\ngen take\n", P);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.In.empty());
+  EXPECT_TRUE(R.Out.empty());
+}
+
+TEST(SpecCompile, StrategyInvarianceOnFig11) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  for (const auto &[Name, Text] : builtinAnalysisSpecs()) {
+    AnalysisRun Base = run(Name, P);
+    ASSERT_TRUE(Base.ok()) << Name << ":\n" << Base.Diags.renderText();
+    for (unsigned Shards : {7u, 0u}) {
+      for (bool Compress : {false, true}) {
+        AnalysisRun R = run(Name, P, Shards, Compress);
+        ASSERT_TRUE(R.ok()) << Name;
+        EXPECT_EQ(R.solutionHash(), Base.solutionHash())
+            << Name << " shards=" << Shards << " compress=" << Compress;
+        EXPECT_EQ(R.In, Base.In) << Name;
+        EXPECT_EQ(R.Out, Base.Out) << Name;
+      }
+    }
+  }
+}
+
+// The acceptance battery: all four built-ins, byte-identical between
+// the iterative and arena backends (checked inside every run) and
+// hash-identical across the strategy grid, on 100 generated programs.
+TEST(SpecCompile, ByteIdentityBatteryAcrossGeneratedPrograms) {
+  unsigned Solved = 0;
+  for (unsigned Seed = 1; Seed <= 100; ++Seed) {
+    GenConfig C = genConfigForBucket(Seed % NumGenBuckets, Seed);
+    Program Prog = generateRandomProgram(C);
+    CfgBuildResult CR = buildCfg(Prog);
+    ASSERT_TRUE(CR.success()) << "seed " << Seed;
+    auto IR = IntervalFlowGraph::build(CR.G);
+    ASSERT_TRUE(IR.success()) << "seed " << Seed;
+    for (const auto &[Name, Text] : builtinAnalysisSpecs()) {
+      AnalysisRun Base =
+          runAnalysisSpec(Name, Prog, CR.G, *IR.Ifg, 0, false);
+      ASSERT_TRUE(Base.ok())
+          << Name << " seed " << Seed << ":\n" << Base.Diags.renderText();
+      for (const auto &[Shards, Compress] :
+           {std::pair<unsigned, bool>{7, false}, {0, true}, {7, true}}) {
+        AnalysisRun R =
+            runAnalysisSpec(Name, Prog, CR.G, *IR.Ifg, Shards, Compress);
+        ASSERT_TRUE(R.ok()) << Name << " seed " << Seed << " shards="
+                            << Shards << " compress=" << Compress;
+        ASSERT_EQ(R.solutionHash(), Base.solutionHash())
+            << Name << " seed " << Seed << " shards=" << Shards
+            << " compress=" << Compress;
+      }
+      ++Solved;
+    }
+  }
+  EXPECT_EQ(Solved, 400u);
+}
+
+TEST(SpecCompile, CompressionAppliesOnDuplicateColumns) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  // Hand-build a compiled analysis whose 64-item universe is 8 distinct
+  // columns repeated 8 times: the class solver must collapse it.
+  CompiledAnalysis C;
+  C.Name = "dup";
+  C.Direction = FlowDirection::Forward;
+  C.Meet = Confluence::Any;
+  C.NumNodes = P.Ifg->size();
+  C.UniverseSize = 64;
+  C.Gen.assign(C.NumNodes, BitVector(64));
+  C.Kill.assign(C.NumNodes, BitVector(64));
+  C.Boundary = BitVector(64);
+  for (unsigned Item = 0; Item != 64; ++Item) {
+    unsigned Family = Item % 8;
+    C.Gen[Family % C.NumNodes].set(Item);
+    if (Family & 1)
+      C.Kill[(Family + 3) % C.NumNodes].set(Item);
+  }
+  for (unsigned I = 0; I != C.UniverseSize; ++I)
+    C.ItemNames.push_back("it" + itostr(I));
+
+  AnalysisRun Plain = runAnalysis(C, *P.Ifg, 0, false);
+  AnalysisRun Compressed = runAnalysis(C, *P.Ifg, 0, true);
+  ASSERT_TRUE(Plain.ok()) << Plain.Diags.renderText();
+  ASSERT_TRUE(Compressed.ok()) << Compressed.Diags.renderText();
+  EXPECT_TRUE(Compressed.Stats.CompressionApplied);
+  EXPECT_LE(Compressed.Stats.CompressedClasses, 8u);
+  EXPECT_EQ(Plain.solutionHash(), Compressed.solutionHash());
+  EXPECT_EQ(Plain.In, Compressed.In);
+  EXPECT_EQ(Plain.Out, Compressed.Out);
+}
+
+TEST(SpecCompile, ElidedItemsUnderAllConfluenceUsePhantomClass) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  // Items 8..63 are never generated, killed, or in the boundary —
+  // elided by the class solver. Under All confluence interior nodes
+  // start at top, so elision is only sound through the phantom class;
+  // the uncompressed solve is the oracle.
+  CompiledAnalysis C;
+  C.Name = "phantom";
+  C.Direction = FlowDirection::Forward;
+  C.Meet = Confluence::All;
+  C.NumNodes = P.Ifg->size();
+  C.UniverseSize = 64;
+  C.Gen.assign(C.NumNodes, BitVector(64));
+  C.Kill.assign(C.NumNodes, BitVector(64));
+  C.Boundary = BitVector(64);
+  for (unsigned Item = 0; Item != 8; ++Item) {
+    C.Gen[Item % C.NumNodes].set(Item);
+    C.Kill[(Item + 5) % C.NumNodes].set(Item);
+  }
+  for (unsigned I = 0; I != C.UniverseSize; ++I)
+    C.ItemNames.push_back("it" + itostr(I));
+
+  AnalysisRun Plain = runAnalysis(C, *P.Ifg, 0, false);
+  AnalysisRun Compressed = runAnalysis(C, *P.Ifg, 0, true);
+  ASSERT_TRUE(Plain.ok()) << Plain.Diags.renderText();
+  ASSERT_TRUE(Compressed.ok()) << Compressed.Diags.renderText();
+  EXPECT_TRUE(Compressed.Stats.CompressionApplied);
+  EXPECT_EQ(Compressed.Stats.ElidedItems, 56u);
+  EXPECT_EQ(Plain.In, Compressed.In);
+  EXPECT_EQ(Plain.Out, Compressed.Out);
+}
+
+TEST(SpecCompile, RenderersCarrySolutionAndStats) {
+  test::Pipeline P = test::Pipeline::fromSource(fig11Source());
+  AnalysisRun R = run("liveness", P);
+  ASSERT_TRUE(R.ok());
+  std::string Text = R.renderText();
+  EXPECT_NE(Text.find("analysis liveness"), std::string::npos);
+  EXPECT_NE(Text.find("universe items"), std::string::npos);
+  std::string Json = R.renderJson(/*IncludeStats=*/true);
+  EXPECT_NE(Json.find("\"analysis\":\"liveness\""), std::string::npos);
+  EXPECT_NE(Json.find("\"arena_sweeps\""), std::string::npos);
+  EXPECT_NE(Json.find("\"worklist_peak\""), std::string::npos);
+  // The deterministic form drops the stats entirely.
+  std::string Bare = R.renderJson(/*IncludeStats=*/false);
+  EXPECT_EQ(Bare.find("\"arena_sweeps\""), std::string::npos);
+}
+
+TEST(SpecCompile, PipelineRunsExtraAnalyses) {
+  PipelineOptions Opts;
+  Opts.ExtraAnalyses = {"liveness", "reaching"};
+  PipelineResult R = compilePipeline(fig11Source(), Opts);
+  ASSERT_TRUE(R.ok()) << R.Diags.renderText();
+  ASSERT_EQ(R.Analyses.size(), 2u);
+  EXPECT_EQ(R.Analyses[0].Name, "liveness");
+  EXPECT_EQ(R.Analyses[1].Name, "reaching");
+  EXPECT_GT(R.stageMicros(PipelineStage::Analyze), 0.0);
+
+  // Failures merge into the pipeline diagnostics with a stage prefix.
+  Opts.ExtraAnalyses = {"universe galaxies\ngen take\n"};
+  PipelineResult Bad = compilePipeline(fig11Source(), Opts);
+  EXPECT_FALSE(Bad.ok());
+  bool Prefixed = false;
+  for (const Diagnostic &D : Bad.Diags.all())
+    Prefixed |= D.Message.rfind("analyze(", 0) == 0;
+  EXPECT_TRUE(Prefixed);
+}
+
+TEST(SpecCompile, ExtraAnalysesArePartOfTheCacheKey) {
+  PipelineOptions Plain, WithAnalyses;
+  WithAnalyses.ExtraAnalyses = {"liveness"};
+  EXPECT_NE(Plain.canonical(), WithAnalyses.canonical());
+  EXPECT_NE(pipelineCacheKey(fig11Source(), Plain),
+            pipelineCacheKey(fig11Source(), WithAnalyses));
+  // Strategy knobs still share one entry, analyses included.
+  PipelineOptions Sharded = WithAnalyses;
+  Sharded.SolverShards = 7;
+  Sharded.CompressUniverse = true;
+  EXPECT_EQ(WithAnalyses.canonical(), Sharded.canonical());
+}
+
+TEST(SpecCompile, BatchServerServesAnalysesDeterministically) {
+  const char *Source =
+      "distribute x\\narray z\\ndo i = 1, n\\n  z(i) = x(i)\\nenddo\\n";
+  auto Line = [&](const char *Extra) {
+    return std::string("{\"id\": \"job\", \"source\": \"") + Source +
+           "\", \"options\": {\"analyses\": [\"liveness\", \"reaching\"]" +
+           Extra + "}}";
+  };
+  BatchServer Serial({/*Workers=*/0, /*CacheCapacity=*/0});
+  std::vector<std::string> A = Serial.run({Line("")});
+  std::vector<std::string> B =
+      Serial.run({Line(", \"solver_shards\": 7, \"compress_universe\": true")});
+  ASSERT_EQ(A.size(), 1u);
+  ASSERT_EQ(B.size(), 1u);
+  // Same id, same payload: the strategy knobs may not change one byte.
+  EXPECT_EQ(A[0], B[0]);
+  EXPECT_NE(A[0].find("\"analyses\":"), std::string::npos);
+  EXPECT_NE(A[0].find("\"name\":\"liveness\""), std::string::npos);
+  EXPECT_NE(A[0].find("\"hash\":"), std::string::npos);
+
+  // Malformed analyses option is a per-request error, not a crash.
+  std::vector<std::string> Bad = Serial.run(
+      {"{\"id\": \"b\", \"source\": \"v = 1\\n\", \"options\": "
+       "{\"analyses\": \"liveness\"}}"});
+  ASSERT_EQ(Bad.size(), 1u);
+  EXPECT_NE(Bad[0].find("must be an array of strings"), std::string::npos);
+}

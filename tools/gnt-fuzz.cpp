@@ -20,6 +20,7 @@
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Minimizer.h"
 #include "fuzz/Oracle.h"
+#include "fuzz/SpecFuzz.h"
 #include "gen/RandomProgram.h"
 #include "ir/AstPrinter.h"
 
@@ -40,6 +41,9 @@ void usage() {
       stderr,
       "usage: gnt-fuzz [options]\n"
       "  --smoke             CI preset: 500 inputs, fail on any finding\n"
+      "  --specs             fuzz the analysis-spec language instead of\n"
+      "                      programs (linter totality + backend\n"
+      "                      differential on generated programs)\n"
       "  --corpus DIR        seed corpus directory (*.fm)\n"
       "  --out DIR           write minimized repros here\n"
       "  --seed N            campaign seed (default 1)\n"
@@ -75,6 +79,7 @@ int main(int argc, char **argv) {
   FuzzOptions Opts;
   std::string DistillFile, MinimizeFile;
   int GenBucket = -1;
+  bool SpecMode = false;
 
   auto NextArg = [&](int &I) -> const char * {
     if (I + 1 >= argc) {
@@ -89,6 +94,8 @@ int main(int argc, char **argv) {
     if (!std::strcmp(A, "--smoke")) {
       Opts.MaxInputs = 500;
       Opts.MinimizeBudget = 400;
+    } else if (!std::strcmp(A, "--specs")) {
+      SpecMode = true;
     } else if (!std::strcmp(A, "--corpus")) {
       Opts.CorpusDir = NextArg(I);
     } else if (!std::strcmp(A, "--out")) {
@@ -122,6 +129,22 @@ int main(int argc, char **argv) {
       usage();
       return 2;
     }
+  }
+
+  if (SpecMode) {
+    SpecFuzzOptions SO;
+    SO.Seed = Opts.Seed;
+    SO.MaxSpecs = Opts.MaxInputs;
+    SO.Verbose = Opts.Verbose;
+    SpecFuzzReport Report = runSpecFuzzer(SO);
+    std::printf("gnt-fuzz(specs): %llu specs (%llu accepted, %llu rejected), "
+                "%zu findings\n",
+                Report.Tried, Report.Accepted, Report.Rejected,
+                Report.Findings.size());
+    for (const SpecFuzzFinding &F : Report.Findings)
+      std::printf("  FINDING %s: %s\n    spec:\n%s", F.Kind.c_str(),
+                  F.Detail.c_str(), F.Spec.c_str());
+    return Report.clean() ? 0 : 1;
   }
 
   if (GenBucket >= 0) {

@@ -21,13 +21,16 @@
 #include "dataflow/Dump.h"
 #include "service/Pipeline.h"
 #include "sim/TraceSimulator.h"
+#include "support/Json.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 using namespace gnt;
 
@@ -40,7 +43,11 @@ struct Options {
   bool Stats = false;
   bool AuditJson = false;
   bool DumpVars = false;
+  bool AnalyzeJson = false;
   long long SimulateN = -1;
+  /// --analyze arguments as given: built-in names, `all`, or @FILE
+  /// references (expanded in main once the files can be read).
+  std::vector<std::string> Analyses;
   PipelineOptions Pipe;
 };
 
@@ -75,6 +82,16 @@ void usage(std::FILE *To) {
       "                    the full universe (byte-identical output;\n"
       "                    =off restores the uncompressed solve)\n"
       "\n"
+      "analyses:\n"
+      "  --analyze A       run a user-specified dataflow analysis and print\n"
+      "                    its per-node solution; A is a built-in name\n"
+      "                    (liveness | availability | very-busy | reaching),\n"
+      "                    `all` for every built-in, or @FILE to read a\n"
+      "                    spec file; repeatable; solved on both the\n"
+      "                    iterative engine and the arena solver with a\n"
+      "                    mandatory byte-identity differential\n"
+      "  --analyze-json    print analysis results as JSON with statistics\n"
+      "\n"
       "checking:\n"
       "  --verify          check C1/C3/O1 and exit nonzero on violations\n"
       "  --audit           run the full static audit (structure, C1/C3,\n"
@@ -83,6 +100,53 @@ void usage(std::FILE *To) {
       "  --werror          treat audit/verify warnings and notes as errors\n"
       "\n"
       "  --help            print this help\n");
+}
+
+/// Classic Levenshtein distance, small inputs only (flag names).
+unsigned editDistance(const std::string &A, const std::string &B) {
+  std::vector<unsigned> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = static_cast<unsigned>(J);
+  for (size_t I = 1; I <= A.size(); ++I) {
+    unsigned Diag = Row[0];
+    Row[0] = static_cast<unsigned>(I);
+    for (size_t J = 1; J <= B.size(); ++J) {
+      unsigned Next = std::min({Row[J] + 1, Row[J - 1] + 1,
+                                Diag + (A[I - 1] == B[J - 1] ? 0u : 1u)});
+      Diag = Row[J];
+      Row[J] = Next;
+    }
+  }
+  return Row[B.size()];
+}
+
+/// Every flag parseArgs() accepts, for the did-you-mean suggestion.
+const char *const KnownFlags[] = {
+    "--annotate",      "--pre",
+    "--dot",           "--ifg",
+    "--stats",         "--dump-vars",
+    "--simulate",      "--atomic",
+    "--owner-computes", "--no-hoist",
+    "--baseline",      "--solver-shards",
+    "--compress-universe", "--compress-universe=off",
+    "--analyze",       "--analyze-json",
+    "--verify",        "--audit",
+    "--audit-json",    "--werror",
+    "--help",
+};
+
+/// Nearest known flag within edit distance 2 of \p A, or empty.
+std::string nearestFlag(const std::string &A) {
+  std::string Best;
+  unsigned BestDist = 3;
+  for (const char *Flag : KnownFlags) {
+    unsigned D = editDistance(A, Flag);
+    if (D < BestDist) {
+      BestDist = D;
+      Best = Flag;
+    }
+  }
+  return Best;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
@@ -160,12 +224,26 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
       O.Pipe.CompressUniverse = true;
     } else if (A == "--compress-universe=off") {
       O.Pipe.CompressUniverse = false;
+    } else if (A == "--analyze") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --analyze needs a value\n");
+        return false;
+      }
+      O.Analyses.push_back(Argv[I]);
+      O.Pipe.Annotate = false;
+    } else if (A == "--analyze-json") {
+      O.AnalyzeJson = true;
     } else if (A == "--help") {
       usage(stdout);
       Exit = 0;
       return false;
     } else if (!A.empty() && A[0] == '-' && A != "-") {
-      std::fprintf(stderr, "gntc: unknown option %s\n", A.c_str());
+      std::string Near = nearestFlag(A);
+      if (Near.empty())
+        std::fprintf(stderr, "gntc: unknown option %s\n", A.c_str());
+      else
+        std::fprintf(stderr, "gntc: unknown option %s (did you mean %s?)\n",
+                     A.c_str(), Near.c_str());
       return false;
     } else {
       O.File = A;
@@ -230,6 +308,19 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Expand --analyze arguments: `all` means every built-in, @FILE reads
+  // a spec file, anything else passes through (name or inline text).
+  for (const std::string &Entry : O.Analyses) {
+    if (Entry == "all") {
+      for (const auto &[Name, Text] : builtinAnalysisSpecs())
+        O.Pipe.ExtraAnalyses.push_back(Name);
+    } else if (!Entry.empty() && Entry[0] == '@') {
+      O.Pipe.ExtraAnalyses.push_back(readInput(Entry.substr(1)));
+    } else {
+      O.Pipe.ExtraAnalyses.push_back(Entry);
+    }
+  }
+
   std::string Source = readInput(O.File);
   PipelineResult R = Pipeline(O.Pipe).compile(Source);
 
@@ -256,7 +347,18 @@ int main(int Argc, char **Argv) {
 
   if (O.Pipe.Audit) {
     if (O.AuditJson) {
-      std::fputs(R.Diags.renderJson().c_str(), stdout);
+      // Attach the engine convergence statistics as one extra
+      // top-level member next to the diagnostics.
+      JsonWriter Engine;
+      Engine.beginObject();
+      Engine.key("solves").value(R.Audit.EngineSolves);
+      Engine.key("iterations").value(R.Audit.Engine.Iterations);
+      Engine.key("node_visits").value(R.Audit.Engine.NodeVisits);
+      Engine.key("edge_evaluations").value(R.Audit.Engine.EdgeEvaluations);
+      Engine.key("worklist_peak").value(R.Audit.Engine.WorklistPeak);
+      Engine.key("reference_sweeps").value(R.Audit.ReferenceSweeps);
+      Engine.endObject();
+      std::fputs(R.Diags.renderJson("engine", Engine.str()).c_str(), stdout);
       std::fputc('\n', stdout);
     } else {
       for (const Diagnostic &D : R.Diags.all())
@@ -269,6 +371,21 @@ int main(int Argc, char **Argv) {
                    R.Diags.count(DiagSeverity::Note), R.Audit.EngineSolves,
                    R.Audit.ReferenceSweeps);
     }
+    return R.ok() ? 0 : 1;
+  }
+
+  if (!O.Pipe.ExtraAnalyses.empty()) {
+    for (const AnalysisRun &A : R.Analyses) {
+      if (O.AnalyzeJson) {
+        std::fputs(A.renderJson(/*IncludeStats=*/true).c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::fputs(A.renderText().c_str(), stdout);
+      }
+    }
+    for (const Diagnostic &D : R.Diags.all())
+      if (D.Severity == DiagSeverity::Error)
+        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
     return R.ok() ? 0 : 1;
   }
 
