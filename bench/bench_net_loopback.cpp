@@ -1,0 +1,209 @@
+//===- bench/bench_net_loopback.cpp - Socket server loopback cost -----------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The serving overhead of the net subsystem, measured end to end over a
+// loopback socket against an in-process NetServer: requests/sec through
+// the full stack (framing -> admission -> pool -> pipeline -> ordered
+// write-back) as worker and connection counts scale, and the hot-cache
+// round-trip latency floor, where the pipeline cost vanishes and what
+// remains is almost entirely the socket layer itself. Every run writes
+// BENCH_net_loopback.json (BenchJson.h schema); the heavier open-loop
+// latency-vs-offered-load sweep lives in tools/gnt-load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+#include "net/NetServer.h"
+#include "support/Json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gnt;
+using namespace gnt::net;
+
+namespace {
+
+int dialLoopback(std::uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
+bool sendAll(int Fd, const std::string &Data) {
+  const char *P = Data.data();
+  std::size_t Len = Data.size();
+  while (Len) {
+    ssize_t W = ::write(Fd, P, Len);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += W;
+    Len -= static_cast<std::size_t>(W);
+  }
+  return true;
+}
+
+/// Reads until \p Want newline-terminated lines arrived.
+bool recvLines(int Fd, unsigned Want) {
+  unsigned Got = 0;
+  char Buf[64 * 1024];
+  while (Got < Want) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R <= 0)
+      return false;
+    for (ssize_t I = 0; I < R; ++I)
+      if (Buf[I] == '\n')
+        ++Got;
+  }
+  return true;
+}
+
+std::string requestLine(unsigned Id, const std::string &Source) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id").value("j" + std::to_string(Id));
+  W.key("source").value(Source);
+  W.endObject();
+  return W.str() + "\n";
+}
+
+/// Requests/sec through the full socket stack, distinct programs (cold
+/// cache within an iteration), scaling workers x connections.
+void BM_NetThroughput(benchmark::State &State) {
+  unsigned Workers = static_cast<unsigned>(State.range(0));
+  unsigned NumConns = static_cast<unsigned>(State.range(1));
+  constexpr unsigned Jobs = 64;
+
+  std::vector<std::string> Batches(NumConns);
+  for (unsigned I = 0; I < Jobs; ++I) {
+    GenConfig GC;
+    GC.Seed = 1 + I;
+    GC.TargetStmts = 24;
+    Batches[I % NumConns] +=
+        requestLine(I, AstPrinter().print(generateRandomProgram(GC)));
+  }
+
+  for (auto _ : State) {
+    State.PauseTiming();
+    ServiceConfig SC;
+    SC.Workers = Workers;
+    SC.CacheCapacity = 0; // Pure pipeline + serving cost.
+    NetConfig NC;
+    NC.Port = 0;
+    NetServer Server(SC, NC);
+    std::string Error;
+    if (!Server.start(Error)) {
+      State.SkipWithError(Error.c_str());
+      return;
+    }
+    std::vector<int> Fds(NumConns);
+    for (unsigned C = 0; C < NumConns; ++C)
+      Fds[C] = dialLoopback(Server.port());
+    State.ResumeTiming();
+
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < NumConns; ++C)
+      Threads.emplace_back([&, C] {
+        sendAll(Fds[C], Batches[C]);
+        unsigned Want = 0;
+        for (char Ch : Batches[C])
+          Want += Ch == '\n';
+        recvLines(Fds[C], Want);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+
+    State.PauseTiming();
+    for (int Fd : Fds)
+      ::close(Fd);
+    Server.requestDrain();
+    Server.join();
+    State.ResumeTiming();
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()) * Jobs);
+  State.counters["workers"] = Workers;
+  State.counters["connections"] = NumConns;
+}
+
+/// Hot-cache ping-pong on one connection: the serving floor. One
+/// request at a time, every one a memory-cache hit, so the measurement
+/// is framing + epoll + ordering + write-back, not compilation.
+void BM_NetHotRoundTrip(benchmark::State &State) {
+  ServiceConfig SC;
+  SC.Workers = 2;
+  NetConfig NC;
+  NC.Port = 0;
+  NetServer Server(SC, NC);
+  std::string Error;
+  if (!Server.start(Error)) {
+    State.SkipWithError(Error.c_str());
+    return;
+  }
+  GenConfig GC;
+  GC.TargetStmts = 24;
+  std::string Line =
+      requestLine(0, AstPrinter().print(generateRandomProgram(GC)));
+  int Fd = dialLoopback(Server.port());
+
+  // Warm the cache before timing.
+  sendAll(Fd, Line);
+  recvLines(Fd, 1);
+
+  for (auto _ : State) {
+    sendAll(Fd, Line);
+    recvLines(Fd, 1);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+
+  ::close(Fd);
+  Server.requestDrain();
+  Server.join();
+}
+
+} // namespace
+
+// Wall clock for the same reason as the batch throughput benchmarks:
+// the work happens on server threads.
+BENCHMARK(BM_NetThroughput)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_NetHotRoundTrip)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+int main(int argc, char **argv) {
+  return gnt::bench::runBenchmarksWithTrajectory(argc, argv,
+                                                 "BENCH_net_loopback.json");
+}

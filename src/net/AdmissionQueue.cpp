@@ -1,0 +1,44 @@
+//===- net/AdmissionQueue.cpp - Bounded fair admission queue ----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/AdmissionQueue.h"
+
+using namespace gnt::net;
+
+bool AdmissionQueue::tryEnqueue(NetJob J) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Size >= MaxPending)
+    return false;
+  std::deque<NetJob> &Q = PerTenant[J.Req.Tenant];
+  if (Q.empty())
+    Rotation.push_back(J.Req.Tenant);
+  Q.push_back(std::move(J));
+  ++Size;
+  return true;
+}
+
+bool AdmissionQueue::dequeue(NetJob &J) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Rotation.empty())
+    return false;
+  std::string Tenant = std::move(Rotation.front());
+  Rotation.pop_front();
+  auto It = PerTenant.find(Tenant);
+  std::deque<NetJob> &Q = It->second;
+  J = std::move(Q.front());
+  Q.pop_front();
+  --Size;
+  if (Q.empty())
+    PerTenant.erase(It);
+  else
+    Rotation.push_back(std::move(Tenant)); // Back of the service order.
+  return true;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Size;
+}

@@ -1,0 +1,72 @@
+//===- net/AdmissionQueue.h - Bounded fair admission queue -----*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The load-discipline heart of the socket server: a bounded pending
+/// queue with per-tenant fairness. Admission is all-or-nothing — when
+/// the queue is at capacity, tryEnqueue() refuses and the server sheds
+/// that request with a structured `overloaded` response instead of
+/// letting the backlog (and client-perceived latency) grow without
+/// bound. Dequeue round-robins across tenants that have pending work,
+/// so one tenant flooding the queue cannot starve the others: with k
+/// active tenants each is guaranteed every k-th execution slot,
+/// regardless of arrival interleaving.
+///
+/// Thread-safe; workers pull with dequeue() while the event loop pushes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_NET_ADMISSIONQUEUE_H
+#define GNT_NET_ADMISSIONQUEUE_H
+
+#include "service/BatchServer.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gnt::net {
+
+/// One admitted request: which connection and response slot it belongs
+/// to, plus the decoded request itself.
+struct NetJob {
+  std::uint64_t Conn = 0;
+  std::uint64_t Seq = 0;
+  ServiceRequest Req;
+};
+
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(unsigned MaxPending)
+      : MaxPending(MaxPending ? MaxPending : 1) {}
+
+  /// Admits \p J unless the queue is full. The tenant key is read from
+  /// J.Req.Tenant ("" = shared anonymous tenant).
+  bool tryEnqueue(NetJob J);
+
+  /// Pops the next job in fair (tenant round-robin) order; false when
+  /// empty.
+  bool dequeue(NetJob &J);
+
+  std::size_t depth() const;
+  unsigned capacity() const { return MaxPending; }
+
+private:
+  mutable std::mutex M;
+  unsigned MaxPending;
+  std::size_t Size = 0;
+  /// Per-tenant FIFOs; std::map so iteration (and thus first-service
+  /// order after idleness) is content-determined, not hash-ordered.
+  std::map<std::string, std::deque<NetJob>> PerTenant;
+  /// Tenants with pending work, in service order.
+  std::deque<std::string> Rotation;
+};
+
+} // namespace gnt::net
+
+#endif // GNT_NET_ADMISSIONQUEUE_H

@@ -1,0 +1,36 @@
+//===- net/Framing.cpp - Newline request framing ----------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Framing.h"
+
+#include <cstring>
+
+using namespace gnt::net;
+
+FrameExtractor::Status FrameExtractor::next(std::string &Line) {
+  std::size_t Pos = Buf.find('\n', Scan);
+  if (Pos == std::string::npos) {
+    Scan = Buf.size();
+    // The limit applies to a single unterminated frame; a terminated
+    // frame of any buffered size was already handed out below.
+    return Buf.size() > MaxFrameBytes ? Status::Oversized
+                                      : Status::NeedMore;
+  }
+  Line.assign(Buf, 0, Pos);
+  if (!Line.empty() && Line.back() == '\r')
+    Line.pop_back();
+  Buf.erase(0, Pos + 1);
+  Scan = 0;
+  if (Line.size() > MaxFrameBytes)
+    return Status::Oversized;
+  return Status::Frame;
+}
+
+bool FrameExtractor::startsWith(const char *Prefix) const {
+  std::size_t N = std::strlen(Prefix);
+  std::size_t Check = Buf.size() < N ? Buf.size() : N;
+  return std::memcmp(Buf.data(), Prefix, Check) == 0;
+}

@@ -1,0 +1,62 @@
+//===- net/Framing.h - Newline request framing -----------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental newline framing for socket connections. Bytes arrive in
+/// arbitrary chunks; FrameExtractor accumulates them and yields one
+/// frame per '\n' (a trailing '\r' is stripped, so both raw JSON-lines
+/// clients and CRLF-minded ones work). The extractor enforces a maximum
+/// frame size: a connection that streams more than MaxFrameBytes
+/// without a newline is reported Oversized — the caller answers with a
+/// structured error and closes, because there is no way to resynchronize
+/// an unbounded frame. Also hosts the cheap sniffing helpers that let
+/// one port serve both framed JSON and `GET /metrics` HTTP probes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_NET_FRAMING_H
+#define GNT_NET_FRAMING_H
+
+#include <cstddef>
+#include <string>
+
+namespace gnt::net {
+
+class FrameExtractor {
+public:
+  explicit FrameExtractor(std::size_t MaxFrameBytes)
+      : MaxFrameBytes(MaxFrameBytes) {}
+
+  void append(const char *Data, std::size_t Len) { Buf.append(Data, Len); }
+
+  enum class Status {
+    NeedMore,  ///< No complete frame buffered yet.
+    Frame,     ///< \p Line was filled with one complete frame.
+    Oversized, ///< Buffered bytes exceed MaxFrameBytes with no newline.
+  };
+
+  /// Extracts the next complete frame into \p Line (without the
+  /// delimiter). Call until it stops returning Frame.
+  Status next(std::string &Line);
+
+  /// Bytes buffered but not yet returned as a frame. Nonzero at EOF
+  /// means the peer sent a truncated final frame.
+  std::size_t buffered() const { return Buf.size(); }
+  bool hasPartial() const { return !Buf.empty(); }
+
+  /// True when the buffered bytes are (a prefix of) \p Prefix, or start
+  /// with it — used to sniff "GET " before committing to JSON framing.
+  bool startsWith(const char *Prefix) const;
+
+private:
+  std::size_t MaxFrameBytes;
+  std::size_t Scan = 0; ///< Buf[0..Scan) is known newline-free.
+  std::string Buf;
+};
+
+} // namespace gnt::net
+
+#endif // GNT_NET_FRAMING_H

@@ -1,0 +1,66 @@
+//===- net/NetMetrics.h - Socket-layer counters ----------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic counters and gauges for everything that happens below the
+/// service layer: connections, frames, sheds, framing errors, queue
+/// depth. All atomics — the event loop and the /metrics renderer touch
+/// them concurrently without a lock. Job/cache/latency accounting stays
+/// in ServiceMetrics (service/Metrics.h); this struct covers only what
+/// the stdio batch server never sees.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_NET_NETMETRICS_H
+#define GNT_NET_NETMETRICS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace gnt::net {
+
+struct NetMetrics {
+  using Counter = std::atomic<std::uint64_t>;
+
+  Counter ConnectionsAccepted{0};
+  Counter ConnectionsClosed{0};
+  Counter ConnectionsActive{0}; ///< Gauge.
+
+  Counter Frames{0};    ///< Complete request frames received.
+  Counter Responses{0}; ///< Response lines queued for write.
+
+  Counter Malformed{0}; ///< Frames that were not a valid request.
+  Counter Oversized{0}; ///< Frames over the size limit (conn closed).
+  Counter Truncated{0}; ///< EOF with an unterminated partial frame.
+
+  Counter ShedQueueFull{0}; ///< Admission refused: pending queue full.
+  Counter ShedQuota{0};     ///< Admission refused: tenant out of tokens.
+  Counter ShedDraining{0};  ///< Admission refused: server draining.
+
+  Counter HttpRequests{0}; ///< GET probes served (any path).
+
+  Counter QueueDepth{0}; ///< Gauge: admitted jobs not yet completed.
+  Counter QueuePeak{0};  ///< High-water mark of QueueDepth.
+
+  std::uint64_t shedTotal() const {
+    return ShedQueueFull.load(std::memory_order_relaxed) +
+           ShedQuota.load(std::memory_order_relaxed) +
+           ShedDraining.load(std::memory_order_relaxed);
+  }
+
+  /// Raises QueuePeak to at least \p Depth.
+  void notePeak(std::uint64_t Depth) {
+    std::uint64_t Peak = QueuePeak.load(std::memory_order_relaxed);
+    while (Depth > Peak &&
+           !QueuePeak.compare_exchange_weak(Peak, Depth,
+                                            std::memory_order_relaxed)) {
+    }
+  }
+};
+
+} // namespace gnt::net
+
+#endif // GNT_NET_NETMETRICS_H

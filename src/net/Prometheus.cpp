@@ -1,0 +1,183 @@
+//===- net/Prometheus.cpp - /metrics text exposition ------------------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Prometheus.h"
+
+#include <cstdio>
+
+using namespace gnt;
+using namespace gnt::net;
+
+namespace {
+
+class Text {
+public:
+  void help(const char *Name, const char *Help, const char *Type) {
+    Out += "# HELP ";
+    Out += Name;
+    Out += ' ';
+    Out += Help;
+    Out += "\n# TYPE ";
+    Out += Name;
+    Out += ' ';
+    Out += Type;
+    Out += '\n';
+  }
+
+  void sample(const char *Name, const char *Labels, double Value) {
+    char Buf[160];
+    // %.17g round-trips doubles; counters render as plain integers.
+    if (Value == static_cast<double>(static_cast<long long>(Value)))
+      std::snprintf(Buf, sizeof(Buf), "%s%s %lld\n", Name, Labels,
+                    static_cast<long long>(Value));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%s%s %.6f\n", Name, Labels, Value);
+    Out += Buf;
+  }
+
+  void counter(const char *Name, const char *Help, std::uint64_t Value) {
+    help(Name, Help, "counter");
+    sample(Name, "", static_cast<double>(Value));
+  }
+
+  void gauge(const char *Name, const char *Help, double Value) {
+    help(Name, Help, "gauge");
+    sample(Name, "", Value);
+  }
+
+  /// Prometheus summary: quantile samples plus _sum and _count.
+  void summary(const char *Name, const char *Help, const char *StageLabel,
+               const LatencyStats &L, bool EmitHeader) {
+    if (EmitHeader)
+      help(Name, Help, "summary");
+    if (L.empty())
+      return;
+    auto Quantile = [&](const char *Q, double P) {
+      char Labels[96];
+      if (StageLabel[0])
+        std::snprintf(Labels, sizeof(Labels), "{stage=\"%s\",quantile=\"%s\"}",
+                      StageLabel, Q);
+      else
+        std::snprintf(Labels, sizeof(Labels), "{quantile=\"%s\"}", Q);
+      sample(Name, Labels, L.percentile(P));
+    };
+    Quantile("0.5", 50);
+    Quantile("0.99", 99);
+    Quantile("0.999", 99.9);
+    char Labels[96] = "";
+    if (StageLabel[0])
+      std::snprintf(Labels, sizeof(Labels), "{stage=\"%s\"}", StageLabel);
+    std::string SumName = std::string(Name) + "_sum";
+    std::string CountName = std::string(Name) + "_count";
+    sample(SumName.c_str(), Labels,
+           L.mean() * static_cast<double>(L.count()));
+    sample(CountName.c_str(), Labels, static_cast<double>(L.count()));
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+std::uint64_t load(const std::atomic<std::uint64_t> &C) {
+  return C.load(std::memory_order_relaxed);
+}
+
+} // namespace
+
+std::string gnt::net::renderPrometheus(const NetMetrics &Net,
+                                       const ServiceMetrics &Svc,
+                                       const DiskCacheStats *Disk,
+                                       unsigned DiskEntries) {
+  Text T;
+
+  // Connection and framing counters.
+  T.counter("gntd_connections_accepted_total",
+            "Connections accepted by the listener.",
+            load(Net.ConnectionsAccepted));
+  T.counter("gntd_connections_closed_total", "Connections closed.",
+            load(Net.ConnectionsClosed));
+  T.gauge("gntd_connections_active", "Currently open connections.",
+          static_cast<double>(load(Net.ConnectionsActive)));
+  T.counter("gntd_frames_total", "Complete request frames received.",
+            load(Net.Frames));
+  T.counter("gntd_responses_total", "Response lines written.",
+            load(Net.Responses));
+  T.counter("gntd_http_requests_total", "HTTP GET probes served.",
+            load(Net.HttpRequests));
+
+  // Framing/protocol failures.
+  T.counter("gntd_malformed_frames_total",
+            "Frames rejected as malformed requests.", load(Net.Malformed));
+  T.counter("gntd_oversized_frames_total",
+            "Frames rejected for exceeding the size limit.",
+            load(Net.Oversized));
+  T.counter("gntd_truncated_frames_total",
+            "Connections that ended mid-frame.", load(Net.Truncated));
+
+  // Load discipline.
+  T.help("gntd_shed_total",
+         "Requests answered with a structured overloaded error.",
+         "counter");
+  T.sample("gntd_shed_total", "{reason=\"queue_full\"}",
+           static_cast<double>(load(Net.ShedQueueFull)));
+  T.sample("gntd_shed_total", "{reason=\"quota\"}",
+           static_cast<double>(load(Net.ShedQuota)));
+  T.sample("gntd_shed_total", "{reason=\"draining\"}",
+           static_cast<double>(load(Net.ShedDraining)));
+  T.gauge("gntd_queue_depth", "Admitted jobs not yet completed.",
+          static_cast<double>(load(Net.QueueDepth)));
+  T.gauge("gntd_queue_depth_peak", "High-water mark of the job queue.",
+          static_cast<double>(load(Net.QueuePeak)));
+
+  // Service-layer counters.
+  T.counter("gntd_jobs_total", "Requests served by the pipeline service.",
+            Svc.Jobs);
+  T.counter("gntd_jobs_failed_total",
+            "Requests whose result carries errors.", Svc.Failed);
+  T.counter("gntd_jobs_cancelled_total",
+            "Requests cancelled by shutdown before starting.",
+            Svc.Cancelled);
+  T.help("gntd_cache_hits_total", "Result cache hits by layer.", "counter");
+  T.sample("gntd_cache_hits_total", "{layer=\"memory\"}",
+           static_cast<double>(Svc.CacheHits));
+  T.sample("gntd_cache_hits_total", "{layer=\"disk\"}",
+           static_cast<double>(Svc.DiskHits));
+  T.counter("gntd_cache_misses_total",
+            "Requests that required a full compilation.", Svc.CacheMisses);
+
+  // Persistent cache internals.
+  if (Disk) {
+    T.counter("gntd_disk_cache_writes_total",
+              "Entries written to the persistent cache.",
+              load(Disk->Writes));
+    T.counter("gntd_disk_cache_corrupt_total",
+              "Persistent entries discarded as corrupt or mismatched.",
+              load(Disk->Corrupt));
+    T.counter("gntd_disk_cache_evicted_total",
+              "Persistent entries evicted for capacity.",
+              load(Disk->Evicted));
+    T.gauge("gntd_disk_cache_entries",
+            "Entries currently in the persistent cache.",
+            static_cast<double>(DiskEntries));
+  }
+
+  // Latency summaries (microseconds).
+  T.summary("gntd_job_latency_microseconds",
+            "Whole-job service latency (hits and misses).", "",
+            Svc.JobLatency, /*EmitHeader=*/true);
+  bool First = true;
+  for (unsigned I = 0; I < NumPipelineStages; ++I) {
+    T.summary("gntd_stage_latency_microseconds",
+              "Per-pipeline-stage latency (cache misses only).",
+              pipelineStageName(static_cast<PipelineStage>(I)),
+              Svc.StageLatency[I], First);
+    First = false;
+  }
+
+  return T.take();
+}

@@ -1,0 +1,38 @@
+//===- net/Prometheus.h - /metrics text exposition -------------*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the server's counters in the Prometheus text exposition
+/// format (version 0.0.4): HELP/TYPE headers, `gntd_`-prefixed counter
+/// and gauge samples, and summary quantiles (p50/p99/p999 plus _sum and
+/// _count) for the whole-job and per-stage latency distributions. The
+/// renderer takes value snapshots, not live references to locked state,
+/// so it can run while workers keep recording.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_NET_PROMETHEUS_H
+#define GNT_NET_PROMETHEUS_H
+
+#include "net/NetMetrics.h"
+#include "service/DiskCache.h"
+#include "service/Metrics.h"
+
+#include <string>
+
+namespace gnt::net {
+
+/// Renders everything: socket counters, service job/cache counters,
+/// latency summaries, and (when \p Disk is non-null) the persistent
+/// cache's own counters with \p DiskEntries as the current entry gauge.
+std::string renderPrometheus(const NetMetrics &Net,
+                             const ServiceMetrics &Svc,
+                             const DiskCacheStats *Disk,
+                             unsigned DiskEntries);
+
+} // namespace gnt::net
+
+#endif // GNT_NET_PROMETHEUS_H

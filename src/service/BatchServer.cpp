@@ -151,6 +151,12 @@ bool gnt::parseServiceRequest(const std::string &Line,
         return false;
       }
       Req.File = V.S;
+    } else if (Key == "tenant") {
+      if (!V.isString()) {
+        Error = "`tenant` must be a string";
+        return false;
+      }
+      Req.Tenant = V.S;
     } else if (Key == "options") {
       if (!V.isObject()) {
         Error = "`options` must be an object";
@@ -232,11 +238,7 @@ std::string gnt::renderResponse(const std::string &Id,
   return W.str();
 }
 
-namespace {
-
-/// Payload for requests that never reach the pipeline (bad JSON,
-/// unreadable file): ok=false plus one engine diagnostic.
-std::string errorPayload(const std::string &Message) {
+std::string gnt::renderErrorPayload(const std::string &Message) {
   DiagnosticSet Diags;
   Diagnostic D;
   D.Severity = DiagSeverity::Error;
@@ -250,6 +252,13 @@ std::string errorPayload(const std::string &Message) {
   W.key("diagnostics").raw(Diags.renderJson());
   W.endObject();
   return W.str();
+}
+
+namespace {
+
+/// Local alias: the rendering predates the public name.
+std::string errorPayload(const std::string &Message) {
+  return renderErrorPayload(Message);
 }
 
 } // namespace
@@ -298,10 +307,30 @@ unsigned ResultCache::size() const {
 //===----------------------------------------------------------------------===//
 
 BatchServer::BatchServer(ServiceConfig Config)
-    : Config(Config), Cache(Config.CacheCapacity) {}
+    : Config(Config), Cache(Config.CacheCapacity) {
+  if (!this->Config.DiskCachePath.empty()) {
+    auto D = std::make_unique<DiskCache>(this->Config.DiskCachePath,
+                                         this->Config.DiskCacheCapacity);
+    if (D->open(DiskError))
+      Disk = std::move(D);
+    // On failure the server degrades to memory-only; DiskError tells
+    // the operator why persistence is off.
+  }
+}
+
+ServiceMetrics BatchServer::metricsSnapshot() const {
+  std::lock_guard<std::mutex> Lock(MetricsMutex);
+  return Metrics;
+}
+
+void BatchServer::flushDiskCache() {
+  if (Disk)
+    Disk->flush();
+}
 
 std::string BatchServer::serve(const ServiceRequest &Req) {
   auto Start = std::chrono::steady_clock::now();
+  bool DiskHit = false;
   auto Finish = [&](const std::string &Payload, bool Failed, bool Hit,
                     bool Miss, const PipelineResult *R) {
     auto End = std::chrono::steady_clock::now();
@@ -313,6 +342,8 @@ std::string BatchServer::serve(const ServiceRequest &Req) {
       ++Metrics.Failed;
     if (Hit)
       ++Metrics.CacheHits;
+    if (DiskHit)
+      ++Metrics.DiskHits;
     if (Miss)
       ++Metrics.CacheMisses;
     Metrics.JobLatency.record(Micros);
@@ -346,9 +377,19 @@ std::string BatchServer::serve(const ServiceRequest &Req) {
   if (Cache.lookup(Key, Payload))
     return Finish(Payload, /*Failed=*/false, /*Hit=*/true, false, nullptr);
 
+  // Persistent layer: a disk hit is promoted into the LRU so the next
+  // lookup is a memory hit, and costs no recompilation.
+  if (Disk && Disk->lookup(Key, Payload)) {
+    DiskHit = true;
+    Cache.insert(Key, Payload);
+    return Finish(Payload, /*Failed=*/false, /*Hit=*/false, false, nullptr);
+  }
+
   PipelineResult R = compilePipeline(Source, Req.Opts);
   Payload = renderResultPayload(R);
   Cache.insert(Key, Payload);
+  if (Disk)
+    Disk->insert(Key, Payload);
   return Finish(Payload, /*Failed=*/!R.ok(), false, /*Miss=*/true, &R);
 }
 
@@ -389,7 +430,23 @@ std::vector<std::string> BatchServer::run(
     ThreadPool Pool(Config.Workers);
     for (Slot &S : Slots)
       if (S.Valid)
-        Pool.submit([this, &S] { S.Response = serve(S.Req); });
+        Pool.submit([this, &S] {
+          // Cooperative drain: after a shutdown signal, jobs that have
+          // not started yet answer `cancelled` instead of compiling, so
+          // the batch still renders every response and the metrics
+          // block is reached (the old path died mid-batch).
+          if (Config.Stop && Config.Stop->load(std::memory_order_relaxed)) {
+            S.Response = renderResponse(
+                S.Req.Id,
+                errorPayload("cancelled: shutdown requested before this "
+                             "job started"));
+            std::lock_guard<std::mutex> Lock(MetricsMutex);
+            ++Metrics.Jobs;
+            ++Metrics.Cancelled;
+            return;
+          }
+          S.Response = serve(S.Req);
+        });
     Pool.wait();
   }
 

@@ -18,7 +18,8 @@
 ///
 /// Exactly one of "source" (inline program text) or "file" (path read
 /// by the worker) is required; "id" defaults to the 1-based line
-/// number; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
+/// number; "tenant" (optional string) names the quota principal in
+/// socket mode and is ignored here; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
 /// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
 /// "writes", "annotate", "audit", "verify", "werror", "solver_shards"
 /// (integer), "compress_universe" (bool) and "analyses" (array of
@@ -46,11 +47,14 @@
 #ifndef GNT_SERVICE_BATCHSERVER_H
 #define GNT_SERVICE_BATCHSERVER_H
 
+#include "service/DiskCache.h"
 #include "service/Metrics.h"
 #include "service/Pipeline.h"
 
+#include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -63,6 +67,10 @@ struct ServiceRequest {
   std::string Id;     ///< Echoed back; line number when absent.
   std::string Source; ///< Inline program text (empty if File is set).
   std::string File;   ///< Path to read instead (empty if Source is set).
+  /// Quota accounting principal (socket mode); empty means the shared
+  /// anonymous tenant. Routing metadata only — never part of the cache
+  /// key, so tenants share each other's compilation results.
+  std::string Tenant;
   PipelineOptions Opts;
 };
 
@@ -78,6 +86,16 @@ struct ServiceConfig {
   unsigned Workers = 0;
   /// Result cache capacity in entries; 0 disables caching.
   unsigned CacheCapacity = 1024;
+  /// Directory of the persistent disk cache layered under the in-memory
+  /// LRU (service/DiskCache.h); empty disables persistence.
+  std::string DiskCachePath;
+  /// Disk cache capacity in entries.
+  unsigned DiskCacheCapacity = 4096;
+  /// Cooperative cancellation: when set and it becomes true, batch jobs
+  /// that have not started yet return a structured `cancelled` payload
+  /// instead of compiling, so a signalled run still drains, renders
+  /// every response, and reaches its shutdown metrics block.
+  const std::atomic<bool> *Stop = nullptr;
 };
 
 /// A bounded, thread-safe, least-recently-used result cache keyed by
@@ -116,19 +134,40 @@ public:
   /// Callable repeatedly; the cache and metrics persist across calls.
   std::vector<std::string> run(const std::vector<std::string> &Lines);
 
-  const ServiceMetrics &metrics() const { return Metrics; }
-  const ServiceConfig &config() const { return Config; }
-
-private:
   /// Executes one decoded request (compile or cache hit) and returns
-  /// the full response line.
+  /// the full response line. Thread-safe; this is the execution path
+  /// the socket server's workers call directly.
   std::string serve(const ServiceRequest &Req);
 
+  /// Locked copy of the metrics, safe to render while workers are
+  /// still recording (the live /metrics endpoint needs this; the
+  /// unlocked reference accessor is for quiescent shutdown reads).
+  ServiceMetrics metricsSnapshot() const;
+
+  /// Persists the disk cache index, if a disk cache is configured.
+  void flushDiskCache();
+
+  const ServiceMetrics &metrics() const { return Metrics; }
+  const ServiceConfig &config() const { return Config; }
+  /// The persistent layer, or nullptr when disabled or failed to open.
+  const DiskCache *diskCache() const { return Disk.get(); }
+  /// Non-empty when DiskCachePath was set but the directory could not
+  /// be opened (the server then runs memory-only).
+  const std::string &diskCacheError() const { return DiskError; }
+
+private:
   ServiceConfig Config;
   ResultCache Cache;
-  std::mutex MetricsMutex;
+  std::unique_ptr<DiskCache> Disk;
+  std::string DiskError;
+  mutable std::mutex MetricsMutex;
   ServiceMetrics Metrics;
 };
+
+/// Renders the structured failure payload for a request that never
+/// reached the pipeline (malformed JSON, unreadable file, cancelled):
+/// ok=false plus one engine diagnostic carrying \p Message.
+std::string renderErrorPayload(const std::string &Message);
 
 /// Renders the deterministic result payload for a finished compilation
 /// (the cached portion of a response).

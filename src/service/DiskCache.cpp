@@ -1,0 +1,237 @@
+//===- service/DiskCache.cpp - Persistent content-addressed cache -----------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DiskCache.h"
+
+#include "support/Endian.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+#include <vector>
+
+using namespace gnt;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t HeaderBytes = 40;
+constexpr const char *EntrySuffix = ".gc";
+
+std::uint64_t hashBytes(const unsigned char *P, std::size_t N) {
+  std::uint64_t H = FnvOffsetBasis;
+  for (std::size_t I = 0; I < N; ++I) {
+    H ^= P[I];
+    H *= FnvPrime;
+  }
+  return H;
+}
+
+/// Parses a 16-hex-digit entry file stem; false on any other name.
+bool parseKeyStem(const std::string &Stem, std::uint64_t &Key) {
+  if (Stem.size() != 16)
+    return false;
+  Key = 0;
+  for (char C : Stem) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    Key = (Key << 4) | Digit;
+  }
+  return true;
+}
+
+} // namespace
+
+DiskCache::DiskCache(std::string Dir, unsigned MaxEntries)
+    : DirName(Dir), Dir(DirName), MaxEntries(MaxEntries ? MaxEntries : 1) {}
+
+fs::path DiskCache::entryPath(std::uint64_t Key) const {
+  return Dir / (hashToHex(Key) + EntrySuffix);
+}
+
+bool DiskCache::open(std::string &Error) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::error_code Ec;
+  fs::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = "cannot create cache directory `" + DirName +
+            "`: " + Ec.message();
+    return false;
+  }
+  // Oldest-first scan so restart preserves the eviction order the
+  // previous process would have used.
+  std::vector<std::pair<fs::file_time_type, std::uint64_t>> Found;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
+    if (Ec)
+      break;
+    if (!E.is_regular_file() || E.path().extension() != EntrySuffix)
+      continue;
+    std::uint64_t Key;
+    if (!parseKeyStem(E.path().stem().string(), Key))
+      continue;
+    std::error_code TimeEc;
+    Found.emplace_back(E.last_write_time(TimeEc), Key);
+  }
+  if (Ec) {
+    Error = "cannot scan cache directory `" + DirName +
+            "`: " + Ec.message();
+    return false;
+  }
+  std::sort(Found.begin(), Found.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[Time, Key] : Found) {
+    Order.push_back(Key);
+    Index[Key] = std::prev(Order.end());
+  }
+  while (Index.size() > MaxEntries) {
+    Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
+    removeLocked(Order.front());
+  }
+  return true;
+}
+
+void DiskCache::removeLocked(std::uint64_t Key) {
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Order.erase(It->second);
+    Index.erase(It);
+  }
+  std::error_code Ec;
+  fs::remove(entryPath(Key), Ec);
+}
+
+bool DiskCache::lookup(std::uint64_t Key, std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Read and validate defensively: every failure path below discards
+  // the entry and misses instead of trusting disk bytes.
+  auto Corrupt = [&] {
+    Stats.Corrupt.fetch_add(1, std::memory_order_relaxed);
+    Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+    removeLocked(Key);
+    return false;
+  };
+
+  std::ifstream In(entryPath(Key), std::ios::binary);
+  if (!In)
+    return Corrupt();
+  unsigned char Header[HeaderBytes];
+  if (!In.read(reinterpret_cast<char *>(Header), HeaderBytes))
+    return Corrupt();
+  if (std::memcmp(Header, Magic, 8) != 0)
+    return Corrupt();
+  if (getLe64(Header + 32) != hashBytes(Header, 32))
+    return Corrupt();
+  if (getLe64(Header + 8) != Key)
+    return Corrupt();
+  std::uint64_t Size = getLe64(Header + 16);
+  // Refuse absurd sizes before allocating (a corrupt length field must
+  // not become a multi-gigabyte allocation).
+  if (Size > (std::uint64_t{1} << 32))
+    return Corrupt();
+  std::string Data(static_cast<std::size_t>(Size), '\0');
+  if (!In.read(Data.data(), static_cast<std::streamsize>(Size)))
+    return Corrupt();
+  if (In.get() != std::ifstream::traits_type::eof())
+    return Corrupt(); // Trailing bytes: not what we wrote.
+  if (fnv1a(Data) != getLe64(Header + 24))
+    return Corrupt();
+
+  Order.splice(Order.end(), Order, It->second); // Refresh recency.
+  Payload = std::move(Data);
+  Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void DiskCache::insert(std::uint64_t Key, const std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(M);
+
+  unsigned char Header[HeaderBytes];
+  std::memcpy(Header, Magic, 8);
+  putLe64(Header + 8, Key);
+  putLe64(Header + 16, Payload.size());
+  putLe64(Header + 24, fnv1a(Payload));
+  putLe64(Header + 32, hashBytes(Header, 32));
+
+  // Temp file + rename: a crash mid-write can orphan a .tmp file but
+  // never a half-written entry under a valid key name.
+  fs::path Tmp = Dir / ("tmp-" + hashToHex(Key));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return;
+    Out.write(reinterpret_cast<const char *>(Header), HeaderBytes);
+    Out.write(Payload.data(),
+              static_cast<std::streamsize>(Payload.size()));
+    if (!Out) {
+      Out.close();
+      std::error_code Ec;
+      fs::remove(Tmp, Ec);
+      return;
+    }
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, entryPath(Key), Ec);
+  if (Ec) {
+    fs::remove(Tmp, Ec);
+    return;
+  }
+  Stats.Writes.fetch_add(1, std::memory_order_relaxed);
+
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    Order.splice(Order.end(), Order, It->second);
+  } else {
+    Order.push_back(Key);
+    Index[Key] = std::prev(Order.end());
+  }
+  while (Index.size() > MaxEntries) {
+    Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
+    removeLocked(Order.front());
+  }
+}
+
+void DiskCache::flush() {
+  std::lock_guard<std::mutex> Lock(M);
+  fs::path Tmp = Dir / "index.tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return;
+    Out << "gnt-disk-cache-v1\n"
+        << "entries " << Index.size() << "\n"
+        << "hits " << Stats.Hits.load(std::memory_order_relaxed) << "\n"
+        << "misses " << Stats.Misses.load(std::memory_order_relaxed) << "\n"
+        << "writes " << Stats.Writes.load(std::memory_order_relaxed) << "\n"
+        << "corrupt " << Stats.Corrupt.load(std::memory_order_relaxed)
+        << "\n"
+        << "evicted " << Stats.Evicted.load(std::memory_order_relaxed)
+        << "\n";
+    for (std::uint64_t Key : Order)
+      Out << hashToHex(Key) << "\n";
+  }
+  std::error_code Ec;
+  fs::rename(Tmp, Dir / "index.txt", Ec);
+}
+
+unsigned DiskCache::entries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return static_cast<unsigned>(Index.size());
+}

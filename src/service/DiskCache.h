@@ -1,0 +1,107 @@
+//===- service/DiskCache.h - Persistent content-addressed cache -*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent layer under the in-memory result cache: one file per
+/// cached payload, content-addressed by the 64-bit pipeline cache key,
+/// so a restarted server keeps its hit ratio. The format is defensive —
+/// the cache trusts nothing it reads back:
+///
+///   entry file <dir>/<16-hex-key>.gc, little-endian header:
+///     bytes  0..7   magic + format version ("GNTDCv1\n")
+///     bytes  8..15  cache key (must equal the file name and the lookup)
+///     bytes 16..23  payload size in bytes
+///     bytes 24..31  FNV-1a of the payload
+///     bytes 32..39  FNV-1a of header bytes 0..31
+///     bytes 40..    payload
+///
+/// A lookup validates magic, header checksum, key, size, and payload
+/// hash; any mismatch (bit flip, truncation, format bump, renamed file)
+/// deletes the entry, counts it as corrupt, and reports a miss — a bad
+/// byte on disk costs one recompilation, never a wrong answer. Writes go
+/// through a temp file + rename so a crash mid-write leaves no partial
+/// entry under a valid name. Entries beyond capacity are evicted oldest
+/// first (recency-refreshed on hit); flush() persists a human-readable
+/// index next to the entries for post-mortems and the shutdown path.
+///
+/// Thread-safe: one internal mutex serializes all filesystem traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SERVICE_DISKCACHE_H
+#define GNT_SERVICE_DISKCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace gnt {
+
+/// Monotonic counters the cache keeps about itself. Readable while the
+/// cache is live (atomics); rendered into /metrics and the flush index.
+struct DiskCacheStats {
+  std::atomic<std::uint64_t> Hits{0};    ///< Valid entries served.
+  std::atomic<std::uint64_t> Misses{0};  ///< Keys with no (valid) entry.
+  std::atomic<std::uint64_t> Writes{0};  ///< Entries written.
+  std::atomic<std::uint64_t> Corrupt{0}; ///< Entries discarded as invalid.
+  std::atomic<std::uint64_t> Evicted{0}; ///< Entries removed for capacity.
+};
+
+class DiskCache {
+public:
+  /// On-disk format tag; bump the digit when the header layout changes
+  /// and every older entry self-invalidates on its next lookup.
+  static constexpr char Magic[9] = "GNTDCv1\n";
+
+  DiskCache(std::string Dir, unsigned MaxEntries);
+
+  /// Creates the directory if needed and scans existing entries (oldest
+  /// first, by mtime) into the index. Returns false with \p Error set
+  /// when the directory cannot be created or read.
+  bool open(std::string &Error);
+
+  /// Returns true and fills \p Payload when a valid entry for \p Key
+  /// exists. Invalid entries are deleted and counted, then miss.
+  bool lookup(std::uint64_t Key, std::string &Payload);
+
+  /// Writes (or refreshes) the entry for \p Key, evicting the oldest
+  /// entries beyond capacity. I/O failures are silent: the disk layer
+  /// is an accelerator, never a correctness dependency.
+  void insert(std::uint64_t Key, const std::string &Payload);
+
+  /// Persists the index file (entry keys + counters). Called on server
+  /// shutdown; safe to call repeatedly.
+  void flush();
+
+  unsigned entries() const;
+  const DiskCacheStats &stats() const { return Stats; }
+  const std::string &directory() const { return DirName; }
+
+private:
+  std::filesystem::path entryPath(std::uint64_t Key) const;
+  /// Unlinks \p Key's file and drops it from the index (lock held).
+  void removeLocked(std::uint64_t Key);
+
+  mutable std::mutex M;
+  std::string DirName;
+  std::filesystem::path Dir;
+  unsigned MaxEntries;
+
+  /// Eviction order, oldest first; refreshed to back on hit/insert.
+  std::list<std::uint64_t> Order;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+      Index;
+
+  DiskCacheStats Stats;
+};
+
+} // namespace gnt
+
+#endif // GNT_SERVICE_DISKCACHE_H

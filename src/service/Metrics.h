@@ -68,8 +68,14 @@ private:
 struct ServiceMetrics {
   unsigned long long Jobs = 0;      ///< Requests processed (incl. failed).
   unsigned long long Failed = 0;    ///< Requests whose result has errors.
-  unsigned long long CacheHits = 0;
+  unsigned long long CacheHits = 0; ///< In-memory LRU hits.
   unsigned long long CacheMisses = 0;
+  /// Persistent-layer hits (miss in memory, valid entry on disk).
+  /// Always zero when no disk cache is configured.
+  unsigned long long DiskHits = 0;
+  /// Jobs answered `cancelled` because shutdown was requested before
+  /// they started (ServiceConfig::Stop).
+  unsigned long long Cancelled = 0;
   double WallMicros = 0; ///< Batch wall time (submit to drain).
 
   LatencyStats JobLatency; ///< Whole-job latency (hits and misses).
@@ -116,6 +122,16 @@ struct ServiceMetrics {
                   "cache: %llu hits / %llu misses (%.1f%% hit rate)\n",
                   CacheHits, CacheMisses, cacheHitRate() * 100.0);
     R += Buf;
+    // Conditional lines: runs without a disk cache or a shutdown signal
+    // render byte-identically to the pre-persistence format.
+    if (DiskHits) {
+      std::snprintf(Buf, sizeof(Buf), "disk cache: %llu hits\n", DiskHits);
+      R += Buf;
+    }
+    if (Cancelled) {
+      std::snprintf(Buf, sizeof(Buf), "cancelled: %llu jobs\n", Cancelled);
+      R += Buf;
+    }
     if (CompressedUniverseItems) {
       std::snprintf(Buf, sizeof(Buf),
                     "compression: %llu items -> %llu classes "
@@ -157,7 +173,13 @@ struct ServiceMetrics {
     W.key("misses").value(static_cast<long long>(CacheMisses));
     W.key("hit_rate");
     jsonDouble(W, cacheHitRate());
+    // Emitted only when nonzero, like the text rendering, so stdio-mode
+    // metrics JSON stays byte-compatible with the pre-net format.
+    if (DiskHits)
+      W.key("disk_hits").value(static_cast<long long>(DiskHits));
     W.endObject();
+    if (Cancelled)
+      W.key("cancelled").value(static_cast<long long>(Cancelled));
     W.key("compression");
     W.beginObject();
     W.key("universe_items")

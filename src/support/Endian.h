@@ -1,0 +1,38 @@
+//===- support/Endian.h - Byte-order stable integer codecs -----*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian fixed-width integer encode/decode, used by the
+/// persistent disk cache's entry headers. Serialized byte-for-byte so a
+/// cache directory written on one host validates on any other; memcpy of
+/// host integers would tie the on-disk format to the writing machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_ENDIAN_H
+#define GNT_SUPPORT_ENDIAN_H
+
+#include <cstdint>
+
+namespace gnt {
+
+/// Writes \p V into \p P[0..7], least significant byte first.
+inline void putLe64(unsigned char *P, std::uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I)
+    P[I] = static_cast<unsigned char>(V >> (8 * I));
+}
+
+/// Reads the 64-bit value at \p P[0..7] written by putLe64().
+inline std::uint64_t getLe64(const unsigned char *P) {
+  std::uint64_t V = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    V |= static_cast<std::uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_ENDIAN_H

@@ -19,6 +19,7 @@
 #include "dataflow/GiveNTake.h"
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Minimizer.h"
+#include "fuzz/NetOracle.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/SpecFuzz.h"
 #include "gen/RandomProgram.h"
@@ -44,6 +45,11 @@ void usage() {
       "  --specs             fuzz the analysis-spec language instead of\n"
       "                      programs (linter totality + backend\n"
       "                      differential on generated programs)\n"
+      "  --net               replay corpus programs through a live\n"
+      "                      socket server and diff every response\n"
+      "                      byte-for-byte against the serial stdio\n"
+      "                      engine (uses --corpus, --seed,\n"
+      "                      --max-inputs as the program budget)\n"
       "  --corpus DIR        seed corpus directory (*.fm)\n"
       "  --out DIR           write minimized repros here\n"
       "  --seed N            campaign seed (default 1)\n"
@@ -80,6 +86,7 @@ int main(int argc, char **argv) {
   std::string DistillFile, MinimizeFile;
   int GenBucket = -1;
   bool SpecMode = false;
+  bool NetMode = false;
 
   auto NextArg = [&](int &I) -> const char * {
     if (I + 1 >= argc) {
@@ -96,6 +103,8 @@ int main(int argc, char **argv) {
       Opts.MinimizeBudget = 400;
     } else if (!std::strcmp(A, "--specs")) {
       SpecMode = true;
+    } else if (!std::strcmp(A, "--net")) {
+      NetMode = true;
     } else if (!std::strcmp(A, "--corpus")) {
       Opts.CorpusDir = NextArg(I);
     } else if (!std::strcmp(A, "--out")) {
@@ -129,6 +138,25 @@ int main(int argc, char **argv) {
       usage();
       return 2;
     }
+  }
+
+  if (NetMode) {
+    NetOracleOptions NO;
+    NO.Seed = Opts.Seed;
+    NO.CorpusDir = Opts.CorpusDir;
+    if (Opts.MaxInputs && Opts.MaxInputs < 500)
+      NO.MaxPrograms = static_cast<unsigned>(Opts.MaxInputs);
+    NO.Verbose = Opts.Verbose;
+    NetOracleReport Report = runNetOracle(NO);
+    std::printf("gnt-fuzz(net): %llu programs, %llu responses diffed "
+                "against the serial engine, %zu findings\n",
+                Report.Programs, Report.Requests, Report.Findings.size());
+    for (const NetOracleFinding &F : Report.Findings) {
+      std::printf("  FINDING %s: %s\n", F.Kind.c_str(), F.Detail.c_str());
+      if (!F.Request.empty())
+        std::printf("    request: %.200s\n", F.Request.c_str());
+    }
+    return Report.clean() ? 0 : 1;
   }
 
   if (SpecMode) {

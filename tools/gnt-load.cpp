@@ -1,0 +1,602 @@
+//===- tools/gnt-load.cpp - Trace-driven gntd load generator ----------------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// gnt-load: drives a running gntd socket server with a synthetic but
+// reproducible workload and reports the latency distribution at each
+// offered load point.
+//
+//   - The trace mixes program sizes: seeded random FMini programs from
+//     every generator bucket (gen/RandomProgram.h), so small straight-
+//     line kernels and deep loop nests share the run.
+//   - Program popularity is zipf-distributed: a few hot sources
+//     dominate, exercising both cache layers the way a real compile
+//     farm would.
+//   - Arrivals are open-loop: every request has a precomputed send
+//     deadline derived from the offered RPS (optionally in bursts) and
+//     is sent at that deadline whether or not earlier responses came
+//     back. Latency is measured from the *scheduled* send time, so
+//     server queueing delay is charged to the server (no coordinated
+//     omission).
+//   - With --verify every non-shed response is diffed byte-for-byte
+//     against the in-process pipeline result for the same source; any
+//     divergence is a correctness failure, not a performance number.
+//
+// Each load point reports p50/p99/p999 service latency plus ok/shed/
+// error counts; the whole sweep lands in BENCH_gntd_load.json (same
+// gnt-bench-v1 trajectory schema as the microbenchmarks). Exit status
+// is nonzero when any response was a non-shed error or a verify
+// mismatch — sheds under saturation are expected load discipline, not
+// failures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomProgram.h"
+#include "ir/AstPrinter.h"
+#include "service/BatchServer.h"
+#include "support/Json.h"
+#include "support/Support.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace gnt;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Options {
+  std::string Host = "127.0.0.1";
+  unsigned Port = 7411;
+  unsigned Connections = 8;
+  std::vector<double> RpsPoints; // Default filled in main.
+  double DurationS = 5.0;
+  unsigned Burst = 1;
+  unsigned Programs = 64;
+  double ZipfS = 1.1;
+  unsigned Seed = 1;
+  unsigned Tenants = 1;
+  bool Verify = false;
+  std::string Out = "BENCH_gntd_load.json";
+};
+
+void usage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: gnt-load [options]\n"
+      "\n"
+      "Open-loop load generator for a running `gntd` socket server.\n"
+      "\n"
+      "  --host A          server address (default 127.0.0.1)\n"
+      "  --port N          server port (default 7411)\n"
+      "  --connections N   concurrent connections (default 8)\n"
+      "  --rps R           offered load point in requests/second; repeat\n"
+      "                    the flag or comma-separate for a sweep\n"
+      "                    (default 100,400,1600)\n"
+      "  --duration-s S    seconds per load point (default 5)\n"
+      "  --burst N         arrivals grouped into bursts of N sent\n"
+      "                    back-to-back (default 1: paced evenly)\n"
+      "  --programs N      distinct source programs in the trace\n"
+      "                    (default 64)\n"
+      "  --zipf S          popularity skew; higher = hotter head\n"
+      "                    (default 1.1)\n"
+      "  --tenants N       spread requests over N tenant names\n"
+      "                    (default 1)\n"
+      "  --seed N          trace seed (default 1)\n"
+      "  --verify          diff every non-shed response against the\n"
+      "                    in-process pipeline (byte-exact)\n"
+      "  --out F           trajectory file (default BENCH_gntd_load.json)\n"
+      "  --help            print this help\n"
+      "\n"
+      "Exit status 1 on any non-shed error response or verify mismatch;\n"
+      "structured `overloaded` sheds are expected under saturation and\n"
+      "reported, not failed.\n");
+}
+
+bool parseUnsigned(const char *Arg, const char *Flag, unsigned &Out,
+                   unsigned Max = 1'000'000) {
+  char *End = nullptr;
+  long long V = std::strtoll(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V < 0 || V > Max) {
+    std::fprintf(stderr, "gnt-load: %s needs an integer in [0, %u]\n", Flag,
+                 Max);
+    return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+bool parseDouble(const char *Arg, const char *Flag, double &Out) {
+  char *End = nullptr;
+  double V = std::strtod(Arg, &End);
+  if (End == Arg || *End != '\0' || V <= 0 || V > 1e9) {
+    std::fprintf(stderr, "gnt-load: %s needs a positive number\n", Flag);
+    return false;
+  }
+  Out = V;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
+  Exit = 2;
+  auto Value = [&](int &I, const char *Flag) -> const char * {
+    if (++I == Argc) {
+      std::fprintf(stderr, "gnt-load: %s needs a value\n", Flag);
+      return nullptr;
+    }
+    return Argv[I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    const char *V = nullptr;
+    if (A == "--host") {
+      if (!(V = Value(I, "--host")))
+        return false;
+      O.Host = V;
+    } else if (A == "--port") {
+      if (!(V = Value(I, "--port")) ||
+          !parseUnsigned(V, "--port", O.Port, 65535))
+        return false;
+    } else if (A == "--connections") {
+      if (!(V = Value(I, "--connections")) ||
+          !parseUnsigned(V, "--connections", O.Connections, 4096))
+        return false;
+      if (O.Connections == 0)
+        O.Connections = 1;
+    } else if (A == "--rps") {
+      if (!(V = Value(I, "--rps")))
+        return false;
+      // Accept "100,400,1600" as well as one value per flag.
+      std::string S = V;
+      std::size_t Pos = 0;
+      while (Pos <= S.size()) {
+        std::size_t Comma = S.find(',', Pos);
+        std::string Tok = S.substr(
+            Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+        double R;
+        if (!parseDouble(Tok.c_str(), "--rps", R))
+          return false;
+        O.RpsPoints.push_back(R);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+    } else if (A == "--duration-s") {
+      if (!(V = Value(I, "--duration-s")) ||
+          !parseDouble(V, "--duration-s", O.DurationS))
+        return false;
+    } else if (A == "--burst") {
+      if (!(V = Value(I, "--burst")) ||
+          !parseUnsigned(V, "--burst", O.Burst, 10000))
+        return false;
+      if (O.Burst == 0)
+        O.Burst = 1;
+    } else if (A == "--programs") {
+      if (!(V = Value(I, "--programs")) ||
+          !parseUnsigned(V, "--programs", O.Programs, 100000))
+        return false;
+      if (O.Programs == 0)
+        O.Programs = 1;
+    } else if (A == "--zipf") {
+      if (!(V = Value(I, "--zipf")) || !parseDouble(V, "--zipf", O.ZipfS))
+        return false;
+    } else if (A == "--tenants") {
+      if (!(V = Value(I, "--tenants")) ||
+          !parseUnsigned(V, "--tenants", O.Tenants, 10000))
+        return false;
+      if (O.Tenants == 0)
+        O.Tenants = 1;
+    } else if (A == "--seed") {
+      if (!(V = Value(I, "--seed")) ||
+          !parseUnsigned(V, "--seed", O.Seed, 1u << 30))
+        return false;
+    } else if (A == "--verify") {
+      O.Verify = true;
+    } else if (A == "--out") {
+      if (!(V = Value(I, "--out")))
+        return false;
+      O.Out = V;
+    } else if (A == "--help") {
+      usage(stdout);
+      Exit = 0;
+      return false;
+    } else {
+      std::fprintf(stderr, "gnt-load: unknown option %s\n", A.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Trace construction
+//===----------------------------------------------------------------------===//
+
+/// Uniform double in [0, 1) from raw mt19937_64 draws (the raw stream
+/// is fully specified by the standard; distribution adaptors are not).
+double uniform01(std::mt19937_64 &Rng) {
+  return static_cast<double>(Rng() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/// Zipf CDF over \p N ranks with skew \p S.
+std::vector<double> zipfCdf(unsigned N, double S) {
+  std::vector<double> Cdf(N);
+  double Sum = 0;
+  for (unsigned R = 0; R < N; ++R) {
+    Sum += 1.0 / std::pow(static_cast<double>(R + 1), S);
+    Cdf[R] = Sum;
+  }
+  for (double &V : Cdf)
+    V /= Sum;
+  return Cdf;
+}
+
+unsigned sampleCdf(const std::vector<double> &Cdf, std::mt19937_64 &Rng) {
+  double U = uniform01(Rng);
+  return static_cast<unsigned>(
+      std::lower_bound(Cdf.begin(), Cdf.end(), U) - Cdf.begin());
+}
+
+struct SendItem {
+  Clock::duration Offset; ///< Scheduled send time relative to point start.
+  std::string Line;       ///< Full request frame, newline included.
+  unsigned Prog;          ///< Source program index (for verify).
+};
+
+/// One connection's slice of a load point, in send order.
+struct ConnTrace {
+  std::vector<SendItem> Items;
+};
+
+std::string buildRequestLine(const std::string &Id, const std::string &Source,
+                             const std::string &Tenant) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id").value(Id);
+  if (!Tenant.empty())
+    W.key("tenant").value(Tenant);
+  W.key("source").value(Source);
+  W.endObject();
+  return W.str() + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Socket client
+//===----------------------------------------------------------------------===//
+
+int dialServer(const std::string &Host, unsigned Port, std::string &Error) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<std::uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Error = "cannot parse host `" + Host + "`";
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "connect " + Host + ":" + itostr(static_cast<long long>(Port)) +
+            ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  timeval Tv{30, 0}; // A stuck server fails the run, never hangs it.
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  return Fd;
+}
+
+bool sendAll(int Fd, const char *Data, std::size_t Len) {
+  while (Len) {
+    ssize_t W = ::write(Fd, Data, Len);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    Len -= static_cast<std::size_t>(W);
+  }
+  return true;
+}
+
+/// Tallies for one connection at one load point.
+struct ConnResult {
+  std::vector<double> LatencyUs; ///< Non-shed OK responses only.
+  unsigned long long Ok = 0;
+  unsigned long long Shed = 0;
+  unsigned long long Errors = 0;     ///< Non-shed failures.
+  unsigned long long Mismatches = 0; ///< --verify byte diffs.
+};
+
+void runConnection(int Fd, const ConnTrace &Trace, Clock::time_point Start,
+                   const std::vector<std::string> *Expected,
+                   const std::vector<std::string> &Ids, ConnResult &Result) {
+  // Sender: fire each request at its open-loop deadline.
+  std::atomic<bool> SendFailed{false};
+  std::thread Sender([&] {
+    for (const SendItem &Item : Trace.Items) {
+      std::this_thread::sleep_until(Start + Item.Offset);
+      if (!sendAll(Fd, Item.Line.data(), Item.Line.size())) {
+        SendFailed.store(true);
+        return;
+      }
+    }
+    ::shutdown(Fd, SHUT_WR); // Tell the server this batch is complete.
+  });
+
+  // Receiver: responses come back in send order (the server's
+  // per-connection ordering guarantee), so pair them positionally.
+  std::string Buf;
+  std::size_t Next = 0;
+  char Chunk[64 * 1024];
+  while (Next < Trace.Items.size()) {
+    std::size_t Nl = Buf.find('\n');
+    if (Nl == std::string::npos) {
+      ssize_t R = ::read(Fd, Chunk, sizeof(Chunk));
+      if (R <= 0) {
+        if (R < 0 && errno == EINTR)
+          continue;
+        break; // EOF or timeout: remaining requests count as errors.
+      }
+      Buf.append(Chunk, static_cast<std::size_t>(R));
+      continue;
+    }
+    std::string Line = Buf.substr(0, Nl);
+    Buf.erase(0, Nl + 1);
+    const SendItem &Sent = Trace.Items[Next];
+    double Us = std::chrono::duration<double, std::micro>(
+                    Clock::now() - (Start + Sent.Offset))
+                    .count();
+    ++Next;
+    if (Line.find("\"error\":\"overloaded\"") != std::string::npos) {
+      ++Result.Shed;
+      continue;
+    }
+    bool Failed =
+        Line.find("\"error\":") != std::string::npos &&
+        Line.find("\"ok\":false") != std::string::npos;
+    if (Failed) {
+      ++Result.Errors;
+      continue;
+    }
+    if (Expected &&
+        Line != renderResponse(Ids[Sent.Prog], (*Expected)[Sent.Prog])) {
+      ++Result.Mismatches;
+      continue;
+    }
+    ++Result.Ok;
+    Result.LatencyUs.push_back(Us);
+  }
+  Sender.join();
+  Result.Errors += Trace.Items.size() - Next; // Unanswered requests.
+  if (SendFailed.load())
+    ++Result.Errors;
+}
+
+double percentile(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  double Rank = P / 100.0 * static_cast<double>(V.size());
+  std::size_t Idx = static_cast<std::size_t>(Rank);
+  if (Idx >= V.size())
+    Idx = V.size() - 1;
+  return V[Idx];
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+int main(int Argc, char **Argv) {
+  Options O;
+  int Exit = 2;
+  if (!parseArgs(Argc, Argv, O, Exit)) {
+    if (Exit != 0)
+      usage(stderr);
+    return Exit;
+  }
+  if (O.RpsPoints.empty())
+    O.RpsPoints = {100, 400, 1600};
+
+  // Build the program set: every generator bucket, mixed target sizes.
+  std::fprintf(stderr, "gnt-load: generating %u programs...\n", O.Programs);
+  std::vector<std::string> Sources(O.Programs);
+  std::vector<std::string> Ids(O.Programs);
+  for (unsigned I = 0; I < O.Programs; ++I) {
+    GenConfig GC = genConfigForBucket(I % NumGenBuckets, O.Seed + I);
+    // Mix program sizes beyond the bucket presets: every third program
+    // triples its statement budget, every fifth halves it.
+    if (I % 3 == 2)
+      GC.TargetStmts *= 3;
+    else if (I % 5 == 4)
+      GC.TargetStmts = GC.TargetStmts / 2 + 1;
+    Sources[I] = AstPrinter().print(generateRandomProgram(GC));
+    Ids[I] = "p" + itostr(static_cast<long long>(I));
+  }
+
+  // Expected payloads for --verify: the deterministic in-process result.
+  std::vector<std::string> Expected;
+  if (O.Verify) {
+    std::fprintf(stderr, "gnt-load: precomputing %u reference results...\n",
+                 O.Programs);
+    Expected.resize(O.Programs);
+    for (unsigned I = 0; I < O.Programs; ++I)
+      Expected[I] = renderResultPayload(compilePipeline(Sources[I]));
+  }
+
+  std::vector<double> Cdf = zipfCdf(O.Programs, O.ZipfS);
+
+  struct PointRow {
+    double Rps = 0;
+    unsigned long long Requests = 0, Ok = 0, Shed = 0, Errors = 0,
+                       Mismatches = 0;
+    double AchievedRps = 0, P50 = 0, P99 = 0, P999 = 0;
+  };
+  std::vector<PointRow> Rows;
+  bool AnyFailure = false;
+
+  for (double Rps : O.RpsPoints) {
+    unsigned long long Total = static_cast<unsigned long long>(
+        Rps * O.DurationS + 0.5);
+    if (Total == 0)
+      Total = 1;
+    std::mt19937_64 Rng(O.Seed * 1000003ull +
+                        static_cast<unsigned long long>(Rps));
+
+    // Open-loop schedule: burst j of size B departs at t = j*B/rps.
+    std::vector<ConnTrace> Traces(O.Connections);
+    for (unsigned long long K = 0; K < Total; ++K) {
+      double At = static_cast<double>((K / O.Burst) * O.Burst) / Rps;
+      unsigned Prog = sampleCdf(Cdf, Rng);
+      std::string Tenant =
+          O.Tenants > 1
+              ? "t" + itostr(static_cast<long long>(K % O.Tenants))
+              : std::string();
+      SendItem Item;
+      Item.Offset = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(At));
+      Item.Line = buildRequestLine(Ids[Prog], Sources[Prog], Tenant);
+      Item.Prog = Prog;
+      Traces[K % O.Connections].Items.push_back(std::move(Item));
+    }
+
+    // Dial all connections before starting the clock.
+    std::vector<int> Fds(O.Connections, -1);
+    for (unsigned C = 0; C < O.Connections; ++C) {
+      std::string Error;
+      Fds[C] = dialServer(O.Host, O.Port, Error);
+      if (Fds[C] < 0) {
+        std::fprintf(stderr, "gnt-load: %s\n", Error.c_str());
+        for (int Fd : Fds)
+          if (Fd >= 0)
+            ::close(Fd);
+        return 1;
+      }
+    }
+
+    std::fprintf(stderr,
+                 "gnt-load: point %.0f rps, %llu requests over %u "
+                 "connections...\n",
+                 Rps, Total, O.Connections);
+    std::vector<ConnResult> Results(O.Connections);
+    Clock::time_point Start = Clock::now();
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < O.Connections; ++C)
+      Threads.emplace_back([&, C] {
+        runConnection(Fds[C], Traces[C], Start,
+                      O.Verify ? &Expected : nullptr, Ids, Results[C]);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    double ElapsedS =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    for (int Fd : Fds)
+      ::close(Fd);
+
+    PointRow Row;
+    Row.Rps = Rps;
+    Row.Requests = Total;
+    std::vector<double> All;
+    for (ConnResult &R : Results) {
+      Row.Ok += R.Ok;
+      Row.Shed += R.Shed;
+      Row.Errors += R.Errors;
+      Row.Mismatches += R.Mismatches;
+      All.insert(All.end(), R.LatencyUs.begin(), R.LatencyUs.end());
+    }
+    Row.AchievedRps =
+        ElapsedS > 0 ? static_cast<double>(Row.Ok + Row.Shed) / ElapsedS : 0;
+    Row.P50 = percentile(All, 50);
+    Row.P99 = percentile(All, 99);
+    Row.P999 = percentile(All, 99.9);
+    std::fprintf(stderr,
+                 "  ok %llu, shed %llu, errors %llu, mismatches %llu | "
+                 "p50 %.0fus p99 %.0fus p999 %.0fus\n",
+                 Row.Ok, Row.Shed, Row.Errors, Row.Mismatches, Row.P50,
+                 Row.P99, Row.P999);
+    if (Row.Errors || Row.Mismatches)
+      AnyFailure = true;
+    Rows.push_back(Row);
+  }
+
+  // Trajectory file, one benchmark row per load point.
+  JsonWriter W;
+  auto Num = [&](double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    W.raw(Buf);
+  };
+  W.beginObject();
+  W.key("schema").value("gnt-bench-v1");
+  W.beginArray("benchmarks");
+  for (const PointRow &R : Rows) {
+    W.beginObject();
+    W.key("name").value("LOAD_gntd/" +
+                        itostr(static_cast<long long>(R.Rps)));
+    W.key("config");
+    W.beginObject();
+    W.key("rps");
+    Num(R.Rps);
+    W.key("connections");
+    Num(O.Connections);
+    W.key("requests");
+    Num(static_cast<double>(R.Requests));
+    W.key("ok");
+    Num(static_cast<double>(R.Ok));
+    W.key("shed");
+    Num(static_cast<double>(R.Shed));
+    W.key("errors");
+    Num(static_cast<double>(R.Errors));
+    W.key("mismatches");
+    Num(static_cast<double>(R.Mismatches));
+    W.key("achieved_rps");
+    Num(R.AchievedRps);
+    W.key("p50_us");
+    Num(R.P50);
+    W.key("p999_us");
+    Num(R.P999);
+    W.endObject();
+    W.key("metric");
+    Num(R.P99);
+    W.key("unit").value("us");
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  if (std::FILE *F = std::fopen(O.Out.c_str(), "w")) {
+    std::fputs(W.str().c_str(), F);
+    std::fputc('\n', F);
+    std::fclose(F);
+    std::fprintf(stderr, "gnt-load: trajectory written to %s\n",
+                 O.Out.c_str());
+  } else {
+    std::fprintf(stderr, "gnt-load: cannot write %s\n", O.Out.c_str());
+    return 1;
+  }
+  return AnyFailure ? 1 : 0;
+}
