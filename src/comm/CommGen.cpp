@@ -161,7 +161,7 @@ AnchorKey exitAnchor(const CfgNode &Node) {
 CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                            const IntervalFlowGraph &Ifg,
                            const CommOptions &Opts, unsigned SolverShards,
-                           bool CompressUniverse) {
+                           bool CompressUniverse, GntIncrementalContext *Inc) {
   CommPlan Plan;
   Plan.Opts = Opts;
   Plan.Refs = analyzeReferences(P, G);
@@ -170,10 +170,18 @@ CommPlan gnt::generateComm(const Program &P, const Cfg &G,
 
   if (Opts.GenerateReads)
     Plan.ReadRun =
-        runGiveNTake(Ifg, Plan.ReadProblem, SolverShards, CompressUniverse);
+        Inc ? runGiveNTakeIncremental(Ifg, Plan.ReadProblem, SolverShards,
+                                      CompressUniverse, Inc->Read,
+                                      Inc->Stats)
+            : runGiveNTake(Ifg, Plan.ReadProblem, SolverShards,
+                           CompressUniverse);
   if (Opts.GenerateWrites && !Opts.OwnerComputes)
     Plan.WriteRun =
-        runGiveNTake(Ifg, Plan.WriteProblem, SolverShards, CompressUniverse);
+        Inc ? runGiveNTakeIncremental(Ifg, Plan.WriteProblem, SolverShards,
+                                      CompressUniverse, Inc->Write,
+                                      Inc->Stats)
+            : runGiveNTake(Ifg, Plan.WriteProblem, SolverShards,
+                           CompressUniverse);
 
   // Assemble the anchored operation lists. Two phases: at any one program
   // point every write-back precedes every read (the owners must be

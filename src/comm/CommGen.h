@@ -26,6 +26,7 @@
 
 #include "comm/RefAnalysis.h"
 #include "dataflow/GiveNTake.h"
+#include "dataflow/Incremental.h"
 #include "dataflow/Verifier.h"
 
 #include <map>
@@ -125,12 +126,16 @@ struct CommPlan {
 /// \p CompressUniverse solves over item equivalence classes instead of
 /// the full universe. By the invariance contracts (see
 /// dataflow/GiveNTake.h) the plan is byte-identical for every
-/// combination of the two knobs.
+/// combination of the two knobs. \p Inc, when set, routes the READ and
+/// WRITE solves through runGiveNTakeIncremental with the context's
+/// Read/Write memo slots (dataflow/Incremental.h) — a third strategy
+/// knob with the same byte-identity contract.
 CommPlan generateComm(const Program &P, const Cfg &G,
                       const IntervalFlowGraph &Ifg,
                       const CommOptions &Opts = {},
                       unsigned SolverShards = 0,
-                      bool CompressUniverse = false);
+                      bool CompressUniverse = false,
+                      GntIncrementalContext *Inc = nullptr);
 
 /// Builds the READ (Before) and WRITE (After) problem inputs from the
 /// reference analysis. Shared with the baseline generators, which reuse

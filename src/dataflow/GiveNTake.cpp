@@ -622,7 +622,8 @@ inline Word fuseS4(unsigned W, bool FlipEq14, const Word *__restrict RGiven,
 /// sharded driver, whose workers write disjoint windows of one shared
 /// arena.
 void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
-                    DataflowMatrix &M, unsigned WordOff, unsigned WWin) {
+                    DataflowMatrix &M, unsigned WordOff, unsigned WWin,
+                    const detail::ArenaSolveMasks *Masks = nullptr) {
   const unsigned N = Ifg.size();
   const unsigned W = WWin;
   using ET = EdgeType;
@@ -631,9 +632,42 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   const std::vector<NodeId> &Pre = Ifg.preorder();
   const bool FlipEq14 =
       detail::InjectFusedSweepBug.load(std::memory_order_relaxed);
+  // Step selectors for the masked re-solve; a cold solve runs everything.
+  auto RunS1 = [&](NodeId Id) { return !Masks || (*Masks->S1)[Id]; };
+  auto RunS2 = [&](NodeId Id) { return !Masks || (*Masks->S2)[Id]; };
+  auto RunS3 = [&](NodeId Id) { return !Masks || (*Masks->S3)[Id]; };
+  auto RunS4 = [&](NodeId Id) { return !Masks || (*Masks->S4)[Id]; };
 
   auto row = [&](ArenaField F, NodeId Id) -> Word * {
     return M.row(static_cast<unsigned>(F) * N + Id) + WordOff;
+  };
+
+  // Value-level refinement of the masked re-solve (see
+  // ArenaSolveMasks::Baseline): per-row change flags, seeded by the
+  // init-changed nodes and updated by comparing each evaluated step's
+  // output rows against the baseline arena. A candidate step whose
+  // input rows all carry clear flags is skipped — its inputs byte-equal
+  // the converged baseline's, so the cloned output rows already hold
+  // exactly what re-evaluation would write (induction in schedule
+  // order).
+  const bool Refine = Masks && Masks->Baseline;
+  assert((!Refine || Masks->ChangedInit) &&
+         "value-refined re-solve needs the init change flags");
+  std::vector<char> RowChanged;
+  if (Refine)
+    RowChanged.assign(static_cast<std::size_t>(NumArenaFields) * N, 0);
+  auto chg = [&](ArenaField F, NodeId Id) -> bool {
+    return RowChanged[static_cast<std::size_t>(F) * N + Id] != 0;
+  };
+  auto noteOutput = [&](ArenaField F, NodeId Id) {
+    const Word *Old =
+        Masks->Baseline->row(static_cast<unsigned>(F) * N + Id) + WordOff;
+    RowChanged[static_cast<std::size_t>(F) * N + Id] =
+        std::memcmp(row(F, Id), Old, W * sizeof(Word)) != 0;
+  };
+  auto markRan = [&](NodeId Id) {
+    if (Masks && Masks->Ran)
+      (*Masks->Ran)[Id] = 1;
   };
 
   std::vector<char> NoHoist(N, 0);
@@ -671,20 +705,29 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   // The other fields (STEAL..TAKE, GIVEN_in, GIVEN, RES_*) are written
   // by their own node's schedule step strictly before any read, so they
   // can stay uninitialized.
-  for (ArenaField F : {FTakenIn, FBlockLoc, FTakeLoc, FGiveLoc, FStealLoc,
-                       FEagerGivenOut, FLazyGivenOut})
-    for (unsigned Id = 0; Id != N; ++Id)
-      rowZero(row(F, Id), W);
-  for (ArenaField F : {FEagerGivenIn, FEagerGiven, FLazyGivenIn, FLazyGiven})
-    rowZero(row(F, Ifg.root()), W);
-  if (Pre.size() != N) {
-    std::vector<char> Reached(N, 0);
-    for (NodeId Id : Pre)
-      Reached[Id] = 1;
-    for (unsigned Id = 0; Id != N; ++Id)
-      if (!Reached[Id])
-        for (unsigned F = 0; F != NumArenaFields; ++F)
-          rowZero(row(static_cast<ArenaField>(F), Id), W);
+  //
+  // A masked re-solve skips all of this: its arena arrives as a clone
+  // of a converged solution, whose rows already satisfy every invariant
+  // the preamble establishes (root placement rows and unreachable nodes
+  // at bottom), and the no-jump gate its callers enforce removes the
+  // only early reads that must see bottom rather than converged values.
+  if (!Masks) {
+    for (ArenaField F : {FTakenIn, FBlockLoc, FTakeLoc, FGiveLoc, FStealLoc,
+                         FEagerGivenOut, FLazyGivenOut})
+      for (unsigned Id = 0; Id != N; ++Id)
+        rowZero(row(F, Id), W);
+    for (ArenaField F :
+         {FEagerGivenIn, FEagerGiven, FLazyGivenIn, FLazyGiven})
+      rowZero(row(F, Ifg.root()), W);
+    if (Pre.size() != N) {
+      std::vector<char> Reached(N, 0);
+      for (NodeId Id : Pre)
+        Reached[Id] = 1;
+      for (unsigned Id = 0; Id != N; ++Id)
+        if (!Reached[Id])
+          for (unsigned F = 0; F != NumArenaFields; ++F)
+            rowZero(row(static_cast<ArenaField>(F), Id), W);
+    }
   }
 
   RowList EntryBlockLoc, EntryTakenIn, EntryTakeLoc, FjsTakenIn, FwdBlockLoc,
@@ -698,6 +741,23 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
     NodeId Node = *It;
 
     for (NodeId C : Ifg.children(Node)) {
+      if (!RunS2(C))
+        continue;
+      if (Refine) {
+        // Eq. 9-10 read the child's own Eq. 5-7 rows and its
+        // FORWARD/JUMP/SYNTHETIC predecessors' S2 rows.
+        bool Need = chg(FSteal, C) || chg(FGive, C) || chg(FTake, C);
+        if (!Need)
+          for (const IfgEdge &Edge : Ifg.preds(C))
+            if (Edge.Type != ET::Entry && Edge.Type != ET::Cycle &&
+                (chg(FStealLoc, Edge.Src) || chg(FGiveLoc, Edge.Src))) {
+              Need = true;
+              break;
+            }
+        if (!Need)
+          continue;
+      }
+      markRan(C);
       FjPredGiveLoc.clear();
       FjPredStealLoc.clear();
       SynPredStealLoc.clear();
@@ -720,6 +780,8 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
         rowOrAndNot(CStealLoc, FjPredStealLoc[I], FjPredGiveLoc[I], W);
       for (const Word *S : SynPredStealLoc)
         rowOr(CStealLoc, S, W);
+      if (Refine)
+        noteOutput(FStealLoc, C);
 
       // Eq. 9: GIVE_loc(c) =
       //   (GIVE(c) u TAKE(c) u meet_{p in PREDS^FJ} GIVE_loc(p))
@@ -727,8 +789,32 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       Word *CGiveLoc = row(FGiveLoc, C);
       gatherMeet(CGiveLoc, FjPredGiveLoc, W);
       fuseGiveLoc(W, CGiveLoc, row(FGive, C), row(FTake, C), row(FSteal, C));
+      if (Refine)
+        noteOutput(FGiveLoc, C);
     }
 
+    if (!RunS1(Node))
+      continue;
+    if (Refine) {
+      // Eq. 1-8 read the node's init rows, its non-CYCLE successors'
+      // TAKEN_in/BLOCK_loc/TAKE_loc rows, and (for a header) the last
+      // child's S2 rows.
+      bool Need = (*Masks->ChangedInit)[Node] != 0;
+      if (!Need)
+        for (const IfgEdge &Edge : Ifg.succs(Node))
+          if (Edge.Type != ET::Cycle &&
+              (chg(FTakenIn, Edge.Dst) || chg(FBlockLoc, Edge.Dst) ||
+               chg(FTakeLoc, Edge.Dst))) {
+            Need = true;
+            break;
+          }
+      if (!Need && Ifg.isHeader(Node) && Ifg.lastChild(Node) != InvalidNode)
+        Need = chg(FStealLoc, Ifg.lastChild(Node)) ||
+               chg(FGiveLoc, Ifg.lastChild(Node));
+      if (!Need)
+        continue;
+    }
+    markRan(Node);
     EntryBlockLoc.clear();
     EntryTakenIn.clear();
     EntryTakeLoc.clear();
@@ -795,6 +881,10 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
            Hoistable ? ~Word(0) : Word(0), RTakenOut, row(FSteal, Node),
            row(FGive, Node), row(FBlock, Node), row(FTake, Node),
            row(FTakenIn, Node), row(FBlockLoc, Node), row(FTakeLoc, Node));
+    if (Refine)
+      for (ArenaField F : {FTakenOut, FSteal, FGive, FBlock, FTake, FTakenIn,
+                           FBlockLoc, FTakeLoc})
+        noteOutput(F, Node);
   }
 
   //===------------------------------------------------------------------===//
@@ -803,10 +893,34 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   // program nodes (the paper excludes ROOT from its worked example).
   //===------------------------------------------------------------------===//
   for (NodeId Node : Pre) {
-    if (Node == Ifg.root())
+    if (Node == Ifg.root() || !RunS3(Node))
       continue;
     const NodeId Header = Ifg.headerOf(Node);
     const bool FromHeader = Header != InvalidNode && !NoHoist[Header];
+    if (Refine) {
+      // Eq. 11-13 read the node's own Eq. 3-7 rows, the (hoistable)
+      // header's Eq. 2 summary and Eq. 12 rows, and the FORWARD/JUMP
+      // predecessors' Eq. 13 rows, for both urgencies. ROOT's Eq. 12
+      // rows are pinned at bottom (Pass 2 skips it), so their flags
+      // stay clear and top-level siblings only rekindle on a changed
+      // ROOT STEAL summary.
+      bool Need = chg(FTakenIn, Node) || chg(FTake, Node) ||
+                  chg(FGive, Node) || chg(FSteal, Node);
+      if (!Need && FromHeader)
+        Need = chg(FSteal, Header) || chg(FEagerGiven, Header) ||
+               chg(FLazyGiven, Header);
+      if (!Need)
+        for (const IfgEdge &Edge : Ifg.preds(Node))
+          if ((Edge.Type == ET::Forward || Edge.Type == ET::Jump) &&
+              (chg(FEagerGivenOut, Edge.Src) ||
+               chg(FLazyGivenOut, Edge.Src))) {
+            Need = true;
+            break;
+          }
+      if (!Need)
+        continue;
+    }
+    markRan(Node);
     const Word *HdrSteal = FromHeader ? row(FSteal, Header) : ZeroRow;
     const Word *NTakenIn = row(FTakenIn, Node);
     const Word *NTake = row(FTake, Node);
@@ -833,6 +947,9 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       fuseS3(W, RGivenIn, SPredUnion, HdrGiven, HdrSteal, NTakenIn,
              Eager ? NTakenIn : NTake, NGive, NSteal, row(GivenF, Node),
              row(GivenOutF, Node));
+      if (Refine)
+        for (ArenaField F : {GivenInF, GivenF, GivenOutF})
+          noteOutput(F, Node);
     }
   }
 
@@ -840,6 +957,26 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   // Pass 3 (any order): S4 — Eq. 14-15.
   //===------------------------------------------------------------------===//
   for (NodeId Node : Pre) {
+    if (!RunS4(Node))
+      continue;
+    if (Refine) {
+      // Eq. 14-15 read the node's own placement rows and the
+      // FORWARD/JUMP successors' GIVEN_in rows; nothing reads RES_in /
+      // RES_out downstream, so their flags are never recorded.
+      bool Need = chg(FEagerGivenIn, Node) || chg(FEagerGiven, Node) ||
+                  chg(FEagerGivenOut, Node) || chg(FLazyGivenIn, Node) ||
+                  chg(FLazyGiven, Node) || chg(FLazyGivenOut, Node);
+      if (!Need)
+        for (const IfgEdge &Edge : Ifg.succs(Node))
+          if ((Edge.Type == ET::Forward || Edge.Type == ET::Jump) &&
+              (chg(FEagerGivenIn, Edge.Dst) || chg(FLazyGivenIn, Edge.Dst))) {
+            Need = true;
+            break;
+          }
+      if (!Need)
+        continue;
+    }
+    markRan(Node);
     for (unsigned PlIdx = 0; PlIdx != 2; ++PlIdx) {
       const bool Eager = PlIdx == 0;
       const ArenaField GivenInF = Eager ? FEagerGivenIn : FLazyGivenIn;
@@ -909,6 +1046,21 @@ GntResult exportArena(std::shared_ptr<DataflowMatrix> M, unsigned NumNodes) {
 }
 
 } // namespace
+
+void gnt::detail::resolveArenaMasked(const IntervalFlowGraph &Ifg,
+                                     const GntProblem &P, DataflowMatrix &M,
+                                     const ArenaSolveMasks &Masks) {
+  assert(Masks.S1 && Masks.S2 && Masks.S3 && Masks.S4 &&
+         "masked re-solve needs all four step masks");
+  assert(M.rows() == NumArenaFields * Ifg.size() &&
+         "arena not laid out for this graph");
+  solveIntoArena(Ifg, P, M, 0, M.wordsPerRow(), &Masks);
+}
+
+GntResult gnt::detail::exportGntArena(std::shared_ptr<DataflowMatrix> M,
+                                      unsigned NumNodes) {
+  return exportArena(std::move(M), NumNodes);
+}
 
 GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
                               const GntProblem &P) {

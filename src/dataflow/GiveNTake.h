@@ -45,6 +45,8 @@
 
 namespace gnt {
 
+class DataflowMatrix;
+
 namespace detail {
 /// Test-only fault injection: when set, the arena evaluator's fused S4
 /// sweep computes Eq. 14 as GIVEN n GIVEN_in instead of
@@ -271,6 +273,68 @@ struct GntRun {
 /// uncompressed solve.
 GntRun runGiveNTake(const IntervalFlowGraph &Forward, const GntProblem &P,
                     unsigned SolverShards = 0, bool CompressUniverse = false);
+
+namespace detail {
+
+/// Node masks selecting which schedule steps the masked re-solve
+/// evaluates (dataflow/Incremental.cpp computes them as the dirty
+/// closure of the nodes whose init rows changed). Each vector has one
+/// char per node; nonzero means "recompute this node's step". A step
+/// skipped for node n leaves n's rows exactly as the caller seeded
+/// them, so the arena must arrive holding a previously converged
+/// solution for the same graph.
+struct ArenaSolveMasks {
+  const std::vector<char> *S1 = nullptr; ///< Pass 1 gathers + Eq. 1-8.
+  const std::vector<char> *S2 = nullptr; ///< Eq. 9-10 at child visit.
+  const std::vector<char> *S3 = nullptr; ///< Pass 2, Eq. 11-13.
+  const std::vector<char> *S4 = nullptr; ///< Pass 3, Eq. 14-15.
+
+  /// Optional value-level refinement. The step masks above are a
+  /// structural over-approximation: they mark every step whose inputs
+  /// *could* transitively depend on a changed init row, which on a
+  /// straight-line interval chain degenerates to all steps (ROOT's
+  /// Eq. 1-2 summaries chain through every sibling's S2 row). With
+  /// \p Baseline set to the previously converged arena and
+  /// \p ChangedInit to the per-node init-digest change flags, the
+  /// evaluator prunes exactly: a candidate step runs only when one of
+  /// the rows it reads has actually changed relative to \p Baseline
+  /// (tracked by comparing each evaluated step's output rows against
+  /// the baseline bytes). Skipping is sound by induction over the
+  /// schedule — a skipped step's inputs are byte-equal to the baseline
+  /// solve's, so its cloned output rows are exactly what re-evaluation
+  /// would write.
+  const DataflowMatrix *Baseline = nullptr;
+  /// One char per node; nonzero marks nodes whose TAKE/GIVE/STEAL init
+  /// rows differ from the baseline solve. Required when \p Baseline is
+  /// set.
+  const std::vector<char> *ChangedInit = nullptr;
+  /// Out-param (may be null): one char per node, set to 1 when any
+  /// schedule step for that node was actually evaluated. S2 runs are
+  /// attributed to the child whose rows they write.
+  std::vector<char> *Ran = nullptr;
+};
+
+/// Re-runs the fused evaluator full-width over \p M, restricted to the
+/// nodes selected by \p Masks. Unlike a cold solve the arena is NOT
+/// zero-initialized first: \p M must hold a complete converged solution
+/// for the same (graph, universe) whose non-dirty rows double as the
+/// skipped steps' values. Sound only on graphs whose oriented form has
+/// no JUMP/SYNTHETIC edges — early reads across those edges must see
+/// bottom on a cold solve, which a warm arena cannot provide; callers
+/// (runGiveNTakeIncremental) gate on that and fall back to a full
+/// solve.
+void resolveArenaMasked(const IntervalFlowGraph &Ifg, const GntProblem &P,
+                        DataflowMatrix &M, const ArenaSolveMasks &Masks);
+
+/// Exports \p M as a GntResult exactly like the internal arena export:
+/// every field BitVector borrows its words and the result keeps the
+/// arena alive through GntResult::Arena. \p M must be laid out
+/// field-major as 20 x \p NumNodes rows (the layout every arena entry
+/// point produces).
+GntResult exportGntArena(std::shared_ptr<DataflowMatrix> M,
+                         unsigned NumNodes);
+
+} // namespace detail
 
 } // namespace gnt
 

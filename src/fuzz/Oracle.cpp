@@ -7,7 +7,9 @@
 #include "fuzz/Oracle.h"
 
 #include "fuzz/Metamorphic.h"
+#include "fuzz/Mutator.h"
 #include "service/Pipeline.h"
+#include "service/StageCache.h"
 #include "sim/TraceSimulator.h"
 #include "support/Hashing.h"
 #include "support/Support.h"
@@ -160,7 +162,7 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
       Out.UniverseSize = std::max(Plain.Plan->ReadProblem.UniverseSize,
                                   Plain.Plan->WriteProblem.UniverseSize);
       Out.Features =
-          coverageFeatures(Plain.Prog, *Plain.Ifg, Out.UniverseSize);
+          coverageFeatures(*Plain.Prog, *Plain.Ifg, Out.UniverseSize);
       Out.CoverageKey = Out.Features.key();
     }
     return Out;
@@ -172,7 +174,7 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
 
   Out.UniverseSize = std::max(R.Plan->ReadProblem.UniverseSize,
                               R.Plan->WriteProblem.UniverseSize);
-  Out.Features = coverageFeatures(R.Prog, *R.Ifg, Out.UniverseSize);
+  Out.Features = coverageFeatures(*R.Prog, *R.Ifg, Out.UniverseSize);
   Out.CoverageKey = Out.Features.key();
 
   // Layer 3: artifact-level differential — classic and sharded
@@ -224,11 +226,46 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
            "universe-compressed compiles"});
   }
 
-  // Layer 5: dynamic C1/C3 on concrete traces.
+  // Layer 5: incremental differential. The stage cache is warm with the
+  // input's artifacts and solve memos; an edited variant compiled from
+  // that history must be byte-identical to compiling it cold. The edit
+  // is a deterministic mutator draw, so replay and minimization re-check
+  // the same pair. Both compiles run without the audit stack — the
+  // contract under test is the incremental solver's, and audit findings
+  // on the variant would surface as their own class on the variant
+  // itself.
+  if (Opts.Incremental) {
+    std::mt19937 EditRng(
+        static_cast<std::uint32_t>(fnv1a(Source) ^ 0x9e3779b9u));
+    std::string Edited = mutateSource(Source, EditRng);
+    if (!Edited.empty() && Edited != Source) {
+      PipelineOptions IncOpts;
+      IncOpts.Annotate = true;
+      IncOpts.Incremental = true;
+      StageCache Warm;
+      (void)Pipeline(IncOpts).compile(Source, &Warm); // Prime.
+      PipelineResult IncR = Pipeline(IncOpts).compile(Edited, &Warm);
+      PipelineOptions ColdOpts = IncOpts;
+      ColdOpts.Incremental = false;
+      PipelineResult ColdR = Pipeline(ColdOpts).compile(Edited);
+      if (resultSignature(IncR) != resultSignature(ColdR))
+        Out.Findings.push_back(
+            {"differential.incremental.signature",
+             "resultSignature differs between warm-cache incremental and "
+             "cold compiles of the edited variant"});
+      else if (IncR.Annotated != ColdR.Annotated)
+        Out.Findings.push_back(
+            {"differential.incremental.annotated",
+             "annotated output differs between warm-cache incremental "
+             "and cold compiles of the edited variant"});
+    }
+  }
+
+  // Layer 6: dynamic C1/C3 on concrete traces.
   std::vector<SimStats> BaseStats;
   if (Opts.Simulate || Opts.Metamorphic)
     for (const SimConfig &C : simConfigs())
-      BaseStats.push_back(simulate(R.Prog, *R.Plan, C));
+      BaseStats.push_back(simulate(*R.Prog, *R.Plan, C));
   if (Opts.Simulate)
     for (std::size_t I = 0; I != BaseStats.size(); ++I)
       for (const std::string &E : BaseStats[I].Errors)
@@ -236,7 +273,7 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
             {"simulator.trace", "config " + itostr(static_cast<long long>(I)) +
                                     ": " + E});
 
-  // Layer 6: metamorphic variants. Only on inputs that are clean so
+  // Layer 7: metamorphic variants. Only on inputs that are clean so
   // far — a real defect should surface as its primary class, not as a
   // cascade of derived mismatches.
   if (Opts.Metamorphic && Out.Findings.empty()) {
@@ -262,7 +299,7 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
             {Prefix + ".StaticCounts", "static placement counts differ"});
       std::vector<SimConfig> Configs = simConfigs();
       for (std::size_t I = 0; I != Configs.size(); ++I) {
-        SimStats VS = simulate(VR.Prog, *VR.Plan, Configs[I]);
+        SimStats VS = simulate(*VR.Prog, *VR.Plan, Configs[I]);
         diffStats(BaseStats[I], VS, Mask, Prefix,
                   "config " + itostr(static_cast<long long>(I)),
                   Out.Findings);

@@ -20,10 +20,14 @@
 ///  4. production differential — pipeline compiles at SolverShards=7
 ///     and at CompressUniverse=true must each produce an equal
 ///     resultSignature();
-///  5. trace simulation — the annotated program executes under several
+///  5. incremental differential — a stage cache is primed with the
+///     input, a deterministic mutator edit is compiled incrementally
+///     from the warm cache, and its result signature and annotation
+///     must be byte-identical to a cold compile of the edit;
+///  6. trace simulation — the annotated program executes under several
 ///     (params, branch-seed) bindings; any dynamic C1/C3 violation is a
 ///     finding;
-///  6. metamorphic layer — each semantics-preserving transform from
+///  7. metamorphic layer — each semantics-preserving transform from
 ///     Metamorphic.h is applied and the variant's SimStats must match
 ///     the original under the transform's invariant mask.
 ///
@@ -49,6 +53,11 @@ struct OracleOptions {
   bool Differential = true;
   bool Simulate = true;
   bool Metamorphic = true;
+  /// Incremental differential: prime a stage cache with the input,
+  /// derive an edited variant, compile the variant incrementally from
+  /// the warm cache and byte-diff it against a cold compile. Findings
+  /// are "differential.incremental.*".
+  bool Incremental = true;
 
   /// Shard counts for the artifact differential.
   std::vector<unsigned> ShardCounts = {2, 7};

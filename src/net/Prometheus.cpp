@@ -150,6 +150,41 @@ std::string gnt::net::renderPrometheus(const NetMetrics &Net,
   T.counter("gntd_cache_misses_total",
             "Requests that required a full compilation.", Svc.CacheMisses);
 
+  // Stage cache: per-stage hit/miss counters for the content-addressed
+  // pipeline stages (only result-cache misses probe them).
+  auto StageSamples = [&](const char *Name, const char *Help,
+                          const unsigned long long *Counters) {
+    T.help(Name, Help, "counter");
+    for (unsigned I = 0; I < NumCacheStages; ++I) {
+      char Labels[64];
+      std::snprintf(Labels, sizeof(Labels), "{stage=\"%s\"}",
+                    cacheStageName(static_cast<CacheStage>(I)));
+      T.sample(Name, Labels, static_cast<double>(Counters[I]));
+    }
+  };
+  StageSamples("gntd_stage_cache_hits_total",
+               "Content-addressed stage cache hits by stage.",
+               Svc.StageHits);
+  StageSamples("gntd_stage_cache_misses_total",
+               "Content-addressed stage cache misses by stage.",
+               Svc.StageMisses);
+
+  // Incremental solver outcomes and re-solve granularity.
+  T.help("gntd_incremental_solves_total",
+         "Incremental solver runs by outcome.", "counter");
+  T.sample("gntd_incremental_solves_total", "{outcome=\"full\"}",
+           static_cast<double>(Svc.Incremental.FullSolves));
+  T.sample("gntd_incremental_solves_total", "{outcome=\"partial\"}",
+           static_cast<double>(Svc.Incremental.PartialSolves));
+  T.sample("gntd_incremental_solves_total", "{outcome=\"memo_hit\"}",
+           static_cast<double>(Svc.Incremental.MemoHits));
+  T.counter("gntd_incremental_intervals_resolved_total",
+            "Intervals re-solved by partial incremental solves.",
+            Svc.Incremental.IntervalsResolved);
+  T.counter("gntd_incremental_intervals_seen_total",
+            "Intervals examined by partial incremental solves.",
+            Svc.Incremental.IntervalsTotal);
+
   // Persistent cache internals.
   if (Disk) {
     T.counter("gntd_disk_cache_writes_total",

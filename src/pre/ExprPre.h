@@ -30,6 +30,7 @@
 
 #include "cfg/Cfg.h"
 #include "dataflow/GiveNTake.h"
+#include "dataflow/Incremental.h"
 #include "dataflow/Verifier.h"
 
 #include <map>
@@ -79,11 +80,14 @@ struct ExprPreResult {
 /// into that many word-aligned shards; \p CompressUniverse solves it
 /// over expression equivalence classes. Both are strategy knobs: the
 /// placement is byte-identical in every configuration (the invariance
-/// contracts of dataflow/GiveNTake.h).
+/// contracts of dataflow/GiveNTake.h). \p Inc, when set, routes the
+/// solve through runGiveNTakeIncremental with the context's Pre memo
+/// slot (dataflow/Incremental.h) — same byte-identity contract.
 ExprPreResult runExprPre(const Program &P, const Cfg &G,
                          const IntervalFlowGraph &Ifg,
                          unsigned SolverShards = 0,
-                         bool CompressUniverse = false);
+                         bool CompressUniverse = false,
+                         GntIncrementalContext *Inc = nullptr);
 
 /// Builds the expression-PRE problem for \p P over \p G without solving
 /// it: items are the maximal speculable expressions (canonical texts

@@ -93,6 +93,13 @@ bool decodeOptions(const JsonValue &Obj, PipelineOptions &Opts,
       // canonical options string and thus the cache key.
       if (!optionBool(V, Key, Opts.CompressUniverse, Error))
         return false;
+    } else if (Key == "incremental") {
+      // Interval-level incremental solving: an execution strategy like
+      // solver_shards — the incrementality-equivalence battery pins its
+      // output byte-identical to a cold solve, so it is excluded from
+      // the canonical options string and thus the cache key.
+      if (!optionBool(V, Key, Opts.Incremental, Error))
+        return false;
     } else if (Key == "analyses") {
       // User-specified analyses: built-in names or full spec texts,
       // run differentially after the solve. Semantic (cached).
@@ -316,11 +323,24 @@ BatchServer::BatchServer(ServiceConfig Config)
     // On failure the server degrades to memory-only; DiskError tells
     // the operator why persistence is off.
   }
+  // The stage cache shares the disk cache so incremental solve memos
+  // survive restarts alongside the result payloads.
+  Stages = std::make_unique<StageCache>(StageCache::Config{}, Disk.get());
 }
 
 ServiceMetrics BatchServer::metricsSnapshot() const {
-  std::lock_guard<std::mutex> Lock(MetricsMutex);
-  return Metrics;
+  ServiceMetrics M;
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMutex);
+    M = Metrics;
+  }
+  StageCacheStats S = Stages->statsSnapshot();
+  for (unsigned I = 0; I < NumCacheStages; ++I) {
+    M.StageHits[I] = S.Hits[I];
+    M.StageMisses[I] = S.Misses[I];
+  }
+  M.Incremental = S.Inc;
+  return M;
 }
 
 void BatchServer::flushDiskCache() {
@@ -385,7 +405,7 @@ std::string BatchServer::serve(const ServiceRequest &Req) {
     return Finish(Payload, /*Failed=*/false, /*Hit=*/false, false, nullptr);
   }
 
-  PipelineResult R = compilePipeline(Source, Req.Opts);
+  PipelineResult R = Pipeline(Req.Opts).compile(Source, Stages.get());
   Payload = renderResultPayload(R);
   Cache.insert(Key, Payload);
   if (Disk)

@@ -22,12 +22,17 @@
 /// socket mode and is ignored here; "options" maps onto PipelineOptions: "mode" ("comm"|"pre"),
 /// "baseline", "atomic", "owner_computes", "hoist_zero_trip", "reads",
 /// "writes", "annotate", "audit", "verify", "werror", "solver_shards"
-/// (integer), "compress_universe" (bool) and "analyses" (array of
-/// strings: built-in analysis names or full spec texts, run
-/// differentially after the solve) — solver_shards and
-/// compress_universe are solver execution strategies with
-/// byte-identical results for any value, so neither participates in
+/// (integer), "compress_universe" (bool), "incremental" (bool) and
+/// "analyses" (array of strings: built-in analysis names or full spec
+/// texts, run differentially after the solve) — solver_shards,
+/// compress_universe and incremental are solver execution strategies
+/// with byte-identical results for any value, so none participates in
 /// the result cache key; "analyses" changes the payload and does.
+///
+/// Compilations run through a content-addressed stage cache
+/// (service/StageCache.h): an edited source re-runs only the pipeline
+/// stages whose inputs changed, and with "incremental" set the solve
+/// stage re-solves only the intervals whose equation inputs changed.
 ///
 /// One response line per request, in request order regardless of
 /// scheduling: {"id": ..., "result": {"ok": ..., "annotated": ...,
@@ -50,6 +55,7 @@
 #include "service/DiskCache.h"
 #include "service/Metrics.h"
 #include "service/Pipeline.h"
+#include "service/StageCache.h"
 
 #include <atomic>
 #include <cstdint>
@@ -142,6 +148,9 @@ public:
   /// Locked copy of the metrics, safe to render while workers are
   /// still recording (the live /metrics endpoint needs this; the
   /// unlocked reference accessor is for quiescent shutdown reads).
+  /// Stage-cache hit/miss counters and the incremental solver totals
+  /// are merged into the copy — the raw metrics() reference carries
+  /// only the job/result-cache counters.
   ServiceMetrics metricsSnapshot() const;
 
   /// Persists the disk cache index, if a disk cache is configured.
@@ -154,11 +163,15 @@ public:
   /// Non-empty when DiskCachePath was set but the directory could not
   /// be opened (the server then runs memory-only).
   const std::string &diskCacheError() const { return DiskError; }
+  /// The content-addressed stage cache every miss compiles through.
+  StageCache &stageCache() { return *Stages; }
+  const StageCache &stageCache() const { return *Stages; }
 
 private:
   ServiceConfig Config;
   ResultCache Cache;
   std::unique_ptr<DiskCache> Disk;
+  std::unique_ptr<StageCache> Stages;
   std::string DiskError;
   mutable std::mutex MetricsMutex;
   ServiceMetrics Metrics;

@@ -17,6 +17,7 @@
 #define GNT_SERVICE_METRICS_H
 
 #include "service/Pipeline.h"
+#include "service/StageCache.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -88,6 +89,26 @@ struct ServiceMetrics {
   unsigned long long CompressedUniverseItems = 0;
   unsigned long long CompressedClassItems = 0;
 
+  /// Per-stage stage-cache hits and misses (service/StageCache.h
+  /// order: parse, cfg, interval, solve, annotate). All zero when no
+  /// job compiled through a stage cache — only requests that miss the
+  /// result cache probe the stages.
+  unsigned long long StageHits[NumCacheStages] = {};
+  unsigned long long StageMisses[NumCacheStages] = {};
+
+  /// Incremental solver counters aggregated over every solve slot
+  /// (dataflow/Incremental.h). All zero unless a request asked for
+  /// incremental solving.
+  GntIncrementalStats Incremental;
+
+  /// Hits / (hits + misses) for one cached stage; 0 when never probed.
+  double stageHitRate(unsigned Stage) const {
+    unsigned long long Probes = StageHits[Stage] + StageMisses[Stage];
+    return Probes ? static_cast<double>(StageHits[Stage]) /
+                        static_cast<double>(Probes)
+                  : 0;
+  }
+
   /// Aggregate classes/universe ratio; 1.0 when nothing was compressed.
   double compressionRatio() const {
     return CompressedUniverseItems
@@ -140,6 +161,42 @@ struct ServiceMetrics {
                     compressionRatio());
       R += Buf;
     }
+    // Stage cache and incremental blocks share the conditional idiom:
+    // a server that never compiled through a stage cache (or never
+    // solved incrementally) renders byte-identically to the old format.
+    bool AnyStage = false;
+    for (unsigned I = 0; I < NumCacheStages; ++I)
+      AnyStage = AnyStage || StageHits[I] || StageMisses[I];
+    if (AnyStage) {
+      R += "stage cache:\n";
+      for (unsigned I = 0; I < NumCacheStages; ++I) {
+        if (!StageHits[I] && !StageMisses[I])
+          continue;
+        std::snprintf(Buf, sizeof(Buf),
+                      "  %-9s %llu hits / %llu misses (%.1f%% hit rate)\n",
+                      cacheStageName(static_cast<CacheStage>(I)),
+                      StageHits[I], StageMisses[I],
+                      stageHitRate(I) * 100.0);
+        R += Buf;
+      }
+    }
+    if (Incremental.any()) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "incremental: %llu full / %llu partial / %llu memo "
+                    "hits\n",
+                    Incremental.FullSolves, Incremental.PartialSolves,
+                    Incremental.MemoHits);
+      R += Buf;
+      if (Incremental.PartialSolves) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "  re-solved %llu/%llu intervals (%llu/%llu "
+                      "nodes)\n",
+                      Incremental.IntervalsResolved,
+                      Incremental.IntervalsTotal,
+                      Incremental.NodesResolved, Incremental.NodesTotal);
+        R += Buf;
+      }
+    }
     auto Line = [&R, &Buf](const char *Name, const LatencyStats &L) {
       if (L.empty())
         return;
@@ -180,6 +237,43 @@ struct ServiceMetrics {
     W.endObject();
     if (Cancelled)
       W.key("cancelled").value(static_cast<long long>(Cancelled));
+    // Conditional like the text rendering: absent unless some job
+    // compiled through a stage cache / solved incrementally.
+    bool AnyStage = false;
+    for (unsigned I = 0; I < NumCacheStages; ++I)
+      AnyStage = AnyStage || StageHits[I] || StageMisses[I];
+    if (AnyStage) {
+      W.key("stage_cache");
+      W.beginObject();
+      for (unsigned I = 0; I < NumCacheStages; ++I) {
+        W.key(cacheStageName(static_cast<CacheStage>(I)));
+        W.beginObject();
+        W.key("hits").value(static_cast<long long>(StageHits[I]));
+        W.key("misses").value(static_cast<long long>(StageMisses[I]));
+        W.key("hit_rate");
+        jsonDouble(W, stageHitRate(I));
+        W.endObject();
+      }
+      W.endObject();
+    }
+    if (Incremental.any()) {
+      W.key("incremental");
+      W.beginObject();
+      W.key("full_solves")
+          .value(static_cast<long long>(Incremental.FullSolves));
+      W.key("partial_solves")
+          .value(static_cast<long long>(Incremental.PartialSolves));
+      W.key("memo_hits").value(static_cast<long long>(Incremental.MemoHits));
+      W.key("intervals_resolved")
+          .value(static_cast<long long>(Incremental.IntervalsResolved));
+      W.key("intervals_total")
+          .value(static_cast<long long>(Incremental.IntervalsTotal));
+      W.key("nodes_resolved")
+          .value(static_cast<long long>(Incremental.NodesResolved));
+      W.key("nodes_total")
+          .value(static_cast<long long>(Incremental.NodesTotal));
+      W.endObject();
+    }
     W.key("compression");
     W.beginObject();
     W.key("universe_items")

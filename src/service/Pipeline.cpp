@@ -10,11 +10,13 @@
 #include "baseline/LazyCodeMotion.h"
 #include "cfg/CfgBuilder.h"
 #include "frontend/Parser.h"
+#include "service/StageCache.h"
 #include "support/Hashing.h"
 #include "support/Support.h"
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 
 using namespace gnt;
 
@@ -131,14 +133,41 @@ void recordCompression(PipelineResult &R, const GntCompressionStats &S) {
   R.CompressedClasses += S.Applied ? S.Classes : S.Universe;
 }
 
+/// Component-wise Now - Then for the monotone incremental counters: the
+/// contribution of one solve stage to a slot's accumulating stats.
+GntIncrementalStats statsDelta(const GntIncrementalStats &Now,
+                               const GntIncrementalStats &Then) {
+  GntIncrementalStats D;
+  D.FullSolves = Now.FullSolves - Then.FullSolves;
+  D.MemoHits = Now.MemoHits - Then.MemoHits;
+  D.PartialSolves = Now.PartialSolves - Then.PartialSolves;
+  D.NodesTotal = Now.NodesTotal - Then.NodesTotal;
+  D.NodesResolved = Now.NodesResolved - Then.NodesResolved;
+  D.IntervalsTotal = Now.IntervalsTotal - Then.IntervalsTotal;
+  D.IntervalsResolved = Now.IntervalsResolved - Then.IntervalsResolved;
+  return D;
+}
+
 } // namespace
 
 PipelineResult Pipeline::compile(const std::string &Source) const {
+  return compile(Source, nullptr);
+}
+
+PipelineResult Pipeline::compile(const std::string &Source,
+                                 StageCache *Cache) const {
   PipelineResult R;
   R.Opts = Opts;
 
-  // Frontend.
-  {
+  // Frontend. Keyed by the raw source text; the artifact carries the
+  // canonical AST digest that addresses every downstream stage.
+  std::shared_ptr<const ParseArtifact> PA;
+  std::uint64_t Kparse = 0;
+  if (Cache) {
+    Kparse = StageCache::parseKey(Source);
+    PA = Cache->lookupParse(Kparse);
+  }
+  if (!PA) {
     StageTimer T(R, PipelineStage::Frontend);
     ParseResult Parsed = parseProgram(Source);
     if (!Parsed.success()) {
@@ -146,25 +175,52 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
         R.Diags.add(makeError(CheckId::Parse, E));
       return R;
     }
-    R.Prog = std::move(Parsed.Prog);
+    auto A = std::make_shared<ParseArtifact>();
+    A->Prog = std::make_shared<const Program>(std::move(Parsed.Prog));
+    if (Cache) {
+      A->AstDigest = StageCache::astDigest(*A->Prog);
+      Cache->insertParse(Kparse, A);
+    }
+    PA = std::move(A);
   }
+  R.Prog = PA->Prog;
 
-  // CFG construction + normalization.
-  {
+  // CFG construction. A hit adopts the artifact's whole chain — its
+  // nodes anchor `const Stmt *` into *its* Program, which prints
+  // identically (same AST digest) but is a different object.
+  std::shared_ptr<const CfgArtifact> CA;
+  if (Cache)
+    CA = Cache->lookupCfg(StageCache::cfgKey(PA->AstDigest));
+  if (!CA) {
     StageTimer T(R, PipelineStage::Cfg);
-    CfgBuildResult CfgRes = buildCfg(R.Prog);
+    CfgBuildResult CfgRes = buildCfg(*PA->Prog);
     if (!CfgRes.success()) {
       for (const std::string &E : CfgRes.Errors)
         R.Diags.add(makeError(CheckId::Build, E));
       return R;
     }
     R.G = std::move(CfgRes.G);
+    if (Cache) {
+      auto A = std::make_shared<CfgArtifact>();
+      A->Parse = PA;
+      A->RawG = R.G;
+      Cache->insertCfg(StageCache::cfgKey(PA->AstDigest), std::move(A));
+    }
+  } else {
+    PA = CA->Parse;
+    R.Prog = PA->Prog;
+    R.G = CA->RawG;
+    R.Reached = PipelineStage::Cfg;
   }
   if (Opts.StopAfter == PipelineStop::AfterCfg)
     return R;
 
-  // Interval analysis.
-  {
+  // Interval analysis. build() normalizes R.G in place; the artifact
+  // keeps the normalized graph so a hit restores both.
+  std::shared_ptr<const IntervalArtifact> IA;
+  if (Cache)
+    IA = Cache->lookupInterval(StageCache::intervalKey(PA->AstDigest));
+  if (!IA) {
     StageTimer T(R, PipelineStage::Interval);
     auto IfgRes = IntervalFlowGraph::build(R.G);
     if (!IfgRes.success()) {
@@ -172,42 +228,81 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
         R.Diags.add(makeError(CheckId::Build, E));
       return R;
     }
+    if (Cache) {
+      auto A = std::make_shared<IntervalArtifact>();
+      A->Parse = PA;
+      A->NormG = R.G;
+      A->Ifg = *IfgRes.Ifg;
+      IA = std::move(A);
+      Cache->insertInterval(StageCache::intervalKey(PA->AstDigest), IA);
+    }
     R.Ifg = std::move(*IfgRes.Ifg);
+  } else {
+    PA = IA->Parse;
+    R.Prog = PA->Prog;
+    R.G = IA->NormG;
+    R.Ifg = IA->Ifg;
+    R.Reached = PipelineStage::Interval;
   }
   if (Opts.StopAfter == PipelineStop::AfterInterval)
     return R;
 
-  // Solve: PRE, a baseline, or GIVE-N-TAKE communication.
-  if (Opts.Mode == PipelineMode::Pre) {
-    {
-      StageTimer T(R, PipelineStage::Solve);
-      R.Pre = runExprPre(R.Prog, R.G, *R.Ifg, Opts.SolverShards,
-                         Opts.CompressUniverse);
-      recordCompression(R, R.Pre->Run.Result.Compression);
-    }
-    if (Opts.Annotate) {
-      StageTimer T(R, PipelineStage::Annotate);
-      R.Annotated = R.Pre->annotate(R.Prog);
-    }
-    if (Opts.Audit || Opts.Verify) {
-      StageTimer T(R, PipelineStage::Audit);
-      if (Opts.Audit)
-        auditInto(R, R.Pre->Run, R.Pre->Exprs, "PRE");
-      if (Opts.Verify)
-        R.Diags.append(R.Pre->verify().Diags);
-    }
+  // Solve: PRE, a baseline, or GIVE-N-TAKE communication. Keyed by the
+  // AST digest plus the option subset the solve consumes.
+  std::string SolveOpts;
+  std::uint64_t Ksolve = 0;
+  std::shared_ptr<const SolveArtifact> SA;
+  if (Cache) {
+    SolveOpts = StageCache::solveOptionsKey(Opts);
+    Ksolve = StageCache::solveKey(PA->AstDigest, SolveOpts);
+    SA = Cache->lookupSolve(Ksolve);
+  }
+  if (SA) {
+    IA = SA->Interval;
+    PA = IA->Parse;
+    R.Prog = PA->Prog;
+    R.G = IA->NormG;
+    R.Ifg = IA->Ifg;
+    R.Plan = SA->Plan;
+    R.Pre = SA->Pre;
+    R.CompressedUniverse = SA->CompressedUniverse;
+    R.CompressedClasses = SA->CompressedClasses;
+    R.Reached = PipelineStage::Solve;
   } else {
+    // Incremental solving reuses the per-option-set memo slot; the
+    // slot lock serializes solves that share it. Baselines have no GNT
+    // runs to memoize.
+    std::shared_ptr<SolveSlot> Slot;
+    std::unique_lock<std::mutex> SlotLock;
+    GntIncrementalContext *Inc = nullptr;
+    GntIncrementalStats Before;
+    if (Cache && Opts.Incremental &&
+        (Opts.Mode == PipelineMode::Pre || Opts.Baseline.empty())) {
+      Slot = Cache->solveSlot(SolveOpts);
+      SlotLock = std::unique_lock<std::mutex>(Slot->M);
+      Inc = &Slot->Ctx;
+      Before = Slot->Ctx.Stats;
+    }
     {
       StageTimer T(R, PipelineStage::Solve);
-      if (Opts.Baseline == "naive")
-        R.Plan = naivePlacement(R.Prog, R.G, *R.Ifg);
+      if (Opts.Mode == PipelineMode::Pre) {
+        R.Pre = std::make_shared<const ExprPreResult>(
+            runExprPre(*R.Prog, R.G, *R.Ifg, Opts.SolverShards,
+                       Opts.CompressUniverse, Inc));
+        recordCompression(R, R.Pre->Run.Result.Compression);
+      } else if (Opts.Baseline == "naive")
+        R.Plan = std::make_shared<const CommPlan>(
+            naivePlacement(*R.Prog, R.G, *R.Ifg));
       else if (Opts.Baseline == "vectorized")
-        R.Plan = vectorizedPlacement(R.Prog, R.G, *R.Ifg);
+        R.Plan = std::make_shared<const CommPlan>(
+            vectorizedPlacement(*R.Prog, R.G, *R.Ifg));
       else if (Opts.Baseline == "lcm")
-        R.Plan = lcmPlacement(R.Prog, R.G, *R.Ifg);
+        R.Plan = std::make_shared<const CommPlan>(
+            lcmPlacement(*R.Prog, R.G, *R.Ifg));
       else if (Opts.Baseline.empty()) {
-        R.Plan = generateComm(R.Prog, R.G, *R.Ifg, Opts.Comm,
-                              Opts.SolverShards, Opts.CompressUniverse);
+        R.Plan = std::make_shared<const CommPlan>(
+            generateComm(*R.Prog, R.G, *R.Ifg, Opts.Comm, Opts.SolverShards,
+                         Opts.CompressUniverse, Inc));
         if (R.Plan->ReadRun)
           recordCompression(R, R.Plan->ReadRun->Result.Compression);
         if (R.Plan->WriteRun)
@@ -218,12 +313,59 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
         return R;
       }
     }
-    if (Opts.Annotate) {
-      StageTimer T(R, PipelineStage::Annotate);
-      R.Annotated = R.Plan->annotate(R.Prog);
+    if (Inc) {
+      GntIncrementalStats Delta = statsDelta(Slot->Ctx.Stats, Before);
+      Cache->noteIncremental(Delta);
+      // Only re-persist when a solve refreshed a memo; pure memo hits
+      // leave the persisted artifacts bit-identical.
+      if (Delta.FullSolves || Delta.PartialSolves)
+        Cache->persistSlot(*Slot, SolveOpts);
+      SlotLock.unlock();
     }
-    if (Opts.Audit || Opts.Verify) {
-      StageTimer T(R, PipelineStage::Audit);
+    if (Cache) {
+      auto A = std::make_shared<SolveArtifact>();
+      A->Interval = IA;
+      A->Plan = R.Plan;
+      A->Pre = R.Pre;
+      A->CompressedUniverse = R.CompressedUniverse;
+      A->CompressedClasses = R.CompressedClasses;
+      Cache->insertSolve(Ksolve, std::move(A));
+    }
+  }
+
+  // Annotation rendering. Keyed by the solve key: the text is a pure
+  // function of the solve artifact and the (digest-identical) program.
+  if (Opts.Annotate) {
+    std::shared_ptr<const std::string> Ann;
+    std::uint64_t Kann = 0;
+    if (Cache) {
+      Kann = StageCache::annotateKey(Ksolve);
+      Ann = Cache->lookupAnnotate(Kann);
+    }
+    if (!Ann) {
+      StageTimer T(R, PipelineStage::Annotate);
+      R.Annotated = Opts.Mode == PipelineMode::Pre
+                        ? R.Pre->annotate(*R.Prog)
+                        : R.Plan->annotate(*R.Prog);
+      if (Cache)
+        Cache->insertAnnotate(Kann,
+                              std::make_shared<const std::string>(R.Annotated));
+    } else {
+      R.Annotated = *Ann;
+      R.Reached = PipelineStage::Annotate;
+    }
+  }
+
+  // Audit and verification always recompute: they exist to re-check
+  // the solution, caching their verdicts would be self-defeating.
+  if (Opts.Audit || Opts.Verify) {
+    StageTimer T(R, PipelineStage::Audit);
+    if (Opts.Mode == PipelineMode::Pre) {
+      if (Opts.Audit)
+        auditInto(R, R.Pre->Run, R.Pre->Exprs, "PRE");
+      if (Opts.Verify)
+        R.Diags.append(R.Pre->verify().Diags);
+    } else {
       if (Opts.Audit) {
         // Baseline plans carry no GNT dataflow runs; auditing one would
         // be a vacuous pass, so report it as an engine error instead.
@@ -250,7 +392,7 @@ PipelineResult Pipeline::compile(const std::string &Source) const {
   if (!Opts.ExtraAnalyses.empty()) {
     StageTimer T(R, PipelineStage::Analyze);
     for (const std::string &Entry : Opts.ExtraAnalyses) {
-      AnalysisRun Run = runAnalysisSpec(Entry, R.Prog, R.G, *R.Ifg,
+      AnalysisRun Run = runAnalysisSpec(Entry, *R.Prog, R.G, *R.Ifg,
                                         Opts.SolverShards,
                                         Opts.CompressUniverse);
       for (Diagnostic D : Run.Diags.all()) {

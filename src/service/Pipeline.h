@@ -35,10 +35,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 namespace gnt {
+
+class StageCache;
 
 /// Which placement problem the pipeline solves.
 enum class PipelineMode {
@@ -114,6 +117,17 @@ struct PipelineOptions {
   /// compressed and an uncompressed request share one cache entry.
   bool CompressUniverse = false;
 
+  /// Solve the GIVE-N-TAKE problems incrementally when compiling
+  /// through a StageCache: the cache keeps, per solve-option set, the
+  /// previous solve's loop forest and per-node equation input digests
+  /// plus its solved arena, and re-solves only the intervals whose
+  /// inputs an edit changed (dataflow/Incremental.h). Like SolverShards
+  /// and CompressUniverse this is an execution strategy with a
+  /// byte-identity contract — the incrementality-equivalence battery
+  /// pins it — so it too is deliberately NOT part of canonical().
+  /// Ignored when compiling without a StageCache.
+  bool Incremental = false;
+
   /// User-specified dataflow analyses to run after the solve: each
   /// entry is a built-in name ("liveness", "availability", "very-busy",
   /// "reaching") or a full spec text (analysis/SpecLang.h). Every run
@@ -128,22 +142,28 @@ struct PipelineOptions {
   std::string canonical() const;
 };
 
-/// Outcome of one compilation. Movable, not copyable (owns the AST).
-/// Artifacts are populated up to the stage where compilation stopped or
-/// failed; Diags carries everything from parse errors to audit notes.
+/// Outcome of one compilation. Artifacts are populated up to the stage
+/// where compilation stopped or failed; Diags carries everything from
+/// parse errors to audit notes.
 struct PipelineResult {
   /// Options the run was compiled with.
   PipelineOptions Opts;
 
-  Program Prog;
+  /// The parsed program. Shared, not owned: stage-cached compilations
+  /// adopt the cached parse (CFG nodes and plan anchors hold `const
+  /// Stmt *` into exactly this object), and several results may share
+  /// it. Null only when the frontend failed.
+  std::shared_ptr<const Program> Prog;
   Cfg G;
   std::optional<IntervalFlowGraph> Ifg;
 
-  /// Comm mode artifacts (GIVE-N-TAKE or baseline plan).
-  std::optional<CommPlan> Plan;
+  /// Comm mode artifacts (GIVE-N-TAKE or baseline plan). Shared for
+  /// the same reason as Prog: a stage-cached solve is adopted by many
+  /// results, and a CommPlan owns whole dataflow solutions.
+  std::shared_ptr<const CommPlan> Plan;
 
-  /// PRE mode artifacts.
-  std::optional<ExprPreResult> Pre;
+  /// PRE mode artifacts (shared, like Plan).
+  std::shared_ptr<const ExprPreResult> Pre;
 
   /// Rendered annotated program (when Opts.Annotate and the solve
   /// stage completed).
@@ -202,6 +222,14 @@ public:
   /// Compiles \p Source through every configured stage. Never exits or
   /// throws on bad input: check PipelineResult::ok() and Diags.
   PipelineResult compile(const std::string &Source) const;
+
+  /// Same, compiling through a content-addressed stage cache: each
+  /// stage is looked up by a key over exactly the inputs it consumes
+  /// (see service/StageCache.h) and only missing stages run. With
+  /// Opts.Incremental the solve additionally reuses the cache's
+  /// per-option-set incremental memo. Byte-identical to the uncached
+  /// compile by contract. \p Cache may be null (plain compile).
+  PipelineResult compile(const std::string &Source, StageCache *Cache) const;
 
 private:
   PipelineOptions Opts;

@@ -46,8 +46,8 @@ enddo
 TEST(Pipeline, CompilesAndMatchesDirectPassSequence) {
   PipelineResult R = compilePipeline(kLoopSource);
   ASSERT_TRUE(R.ok()) << R.Diags.renderText();
-  ASSERT_TRUE(R.Plan.has_value());
-  EXPECT_FALSE(R.Pre.has_value());
+  ASSERT_TRUE((R.Plan != nullptr));
+  EXPECT_FALSE((R.Pre != nullptr));
 
   // The direct pass sequence must agree byte for byte.
   ParseResult PR = parseProgram(kLoopSource);
@@ -67,7 +67,7 @@ TEST(Pipeline, ParseFailureIsDiagnosticNotExit) {
   ASSERT_FALSE(R.Diags.empty());
   for (const Diagnostic &D : R.Diags.all())
     EXPECT_EQ(D.Check, CheckId::Parse);
-  EXPECT_FALSE(R.Plan.has_value());
+  EXPECT_FALSE((R.Plan != nullptr));
   EXPECT_TRUE(R.Annotated.empty());
 }
 
@@ -95,7 +95,7 @@ TEST(Pipeline, StopAfterCfgSkipsLaterStages) {
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(R.Reached, PipelineStage::Cfg);
   EXPECT_FALSE(R.Ifg.has_value());
-  EXPECT_FALSE(R.Plan.has_value());
+  EXPECT_FALSE((R.Plan != nullptr));
   EXPECT_GT(R.G.size(), 0u);
   EXPECT_EQ(R.stageMicros(PipelineStage::Solve), 0.0);
 }
@@ -125,8 +125,8 @@ enddo
   Opts.Mode = PipelineMode::Pre;
   PipelineResult R = compilePipeline(Src, Opts);
   ASSERT_TRUE(R.ok()) << R.Diags.renderText();
-  ASSERT_TRUE(R.Pre.has_value());
-  EXPECT_FALSE(R.Plan.has_value());
+  ASSERT_TRUE((R.Pre != nullptr));
+  EXPECT_FALSE((R.Plan != nullptr));
   EXPECT_FALSE(R.Pre->Insertions.empty());
   EXPECT_NE(R.Annotated.find("="), std::string::npos);
 }
@@ -158,7 +158,7 @@ TEST(Pipeline, BaselinesCompile) {
     Opts.Baseline = B;
     PipelineResult R = compilePipeline(kLoopSource, Opts);
     ASSERT_TRUE(R.ok()) << B << ": " << R.Diags.renderText();
-    ASSERT_TRUE(R.Plan.has_value()) << B;
+    ASSERT_TRUE((R.Plan != nullptr)) << B;
     EXPECT_FALSE(R.Annotated.empty()) << B;
   }
 }
@@ -283,6 +283,21 @@ TEST(Pipeline, CacheKeyAuditSeparatesStrategyFromSemantics) {
     O.SolverShards = 7;
     O.CompressUniverse = true;
     Strategy.emplace_back("both strategies", O);
+  }
+  {
+    // The incrementality-equivalence battery pins incremental output
+    // byte-identical to a cold solve, which is what licenses sharing a
+    // cache entry with non-incremental requests.
+    PipelineOptions O;
+    O.Incremental = true;
+    Strategy.emplace_back("incremental", O);
+  }
+  {
+    PipelineOptions O;
+    O.Incremental = true;
+    O.SolverShards = 7;
+    O.CompressUniverse = true;
+    Strategy.emplace_back("incremental + both strategies", O);
   }
   for (const auto &[Name, O] : Strategy) {
     EXPECT_EQ(O.canonical(), Def.canonical()) << Name;

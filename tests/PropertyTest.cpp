@@ -18,12 +18,18 @@
 #include "baseline/Baselines.h"
 #include "baseline/LazyCodeMotion.h"
 #include "comm/CommGen.h"
+#include "fuzz/Clone.h"
+#include "fuzz/Mutator.h"
 #include "gen/RandomProgram.h"
 #include "ir/AstPrinter.h"
+#include "service/BatchServer.h"
 #include "service/Pipeline.h"
+#include "service/StageCache.h"
 #include "sim/TraceSimulator.h"
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 using namespace gnt;
 using namespace gnt::test;
@@ -284,3 +290,149 @@ TEST_P(ShardInvariance, CompressionIsInvisibleInResultSignature) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ShardInvariance, ::testing::Range(1u, 101u));
+
+//===----------------------------------------------------------------------===//
+// Incrementality equivalence battery
+//===----------------------------------------------------------------------===//
+//
+// The contract behind PipelineOptions::Incremental (and behind excluding
+// it from the service cache key): for ANY compile history, compiling a
+// source through a warm stage cache with incremental solving must be
+// byte-identical — result signature, rendered service payload, and all
+// 20 solver variables — to a cold compile of the same source. 100 seeds
+// each walk an edit script (whitespace-only edit, array rename,
+// structural mutations covering statement insert/delete and loop-body
+// edits, a revert to the base program, and option flips) against one
+// persistent stage cache, under shard counts {1, 7} x universe
+// compression {off, on}.
+
+namespace {
+
+class IncrementalEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+/// One step of the edit script: a label for failure messages, the
+/// source to compile, and the options to compile it with.
+struct EditStep {
+  std::string Label;
+  std::string Source;
+  PipelineOptions Opts;
+};
+
+/// A whitespace-only variant: indentation and blank lines change the
+/// parse key but not the canonical AST, so everything from the CFG
+/// stage on must hit.
+std::string whitespaceVariant(const std::string &Source) {
+  std::string Out = "\n";
+  for (char C : Source) {
+    Out += C;
+    if (C == '\n')
+      Out += "  ";
+  }
+  Out += "\n\n";
+  return Out;
+}
+
+/// Renames the first declared array everywhere (a semantic edit that
+/// changes item identities but not program shape).
+std::string renameVariant(const std::string &Source) {
+  ParseResult PR = parseProgram(Source);
+  if (!PR.success() || PR.Prog.getArrays().empty())
+    return std::string();
+  const std::string &Old = PR.Prog.getArrays().begin()->first;
+  fuzz::ArrayRenameMap Rename{{Old, "zz_" + Old}};
+  return AstPrinter().print(fuzz::cloneProgram(PR.Prog, Rename));
+}
+
+std::vector<EditStep> editScript(unsigned Seed, const PipelineOptions &Base) {
+  // Goto-free base: partial (masked) incremental re-solves are only
+  // legal without JUMP/SYNTHETIC edges, so this exercises the dirty-
+  // interval path; mutants may introduce gotos and fall back to full
+  // solves, which the equivalence must survive too.
+  std::string BaseSrc = AstPrinter().print(makeProgram(Seed, 30, 0.0));
+  std::vector<EditStep> Steps;
+  Steps.push_back({"base", BaseSrc, Base});
+  Steps.push_back({"whitespace", whitespaceVariant(BaseSrc), Base});
+  std::string Renamed = renameVariant(BaseSrc);
+  if (!Renamed.empty())
+    Steps.push_back({"rename", Renamed, Base});
+  // Structural mutations (statement insert/delete/duplicate, loop-body
+  // rewrites, wraps, goto insertion) from the fuzzer's mutator; each
+  // draw is deterministic in (source, seed).
+  for (unsigned Draw = 0; Draw != 3; ++Draw) {
+    std::mt19937 Rng(Seed * 7919u + Draw);
+    std::string Mutant = fuzz::mutateSource(BaseSrc, Rng);
+    if (!Mutant.empty() && Mutant != BaseSrc)
+      Steps.push_back({"mutant" + std::to_string(Draw), Mutant, Base});
+  }
+  // Revert: a previously seen AST must still match cold.
+  Steps.push_back({"revert", BaseSrc, Base});
+  // Option flips against the same warm cache: different solve keys,
+  // same frontend artifacts.
+  PipelineOptions Owner = Base;
+  Owner.Comm.OwnerComputes = true;
+  Steps.push_back({"flip-owner-computes", BaseSrc, Owner});
+  PipelineOptions Atomic = Base;
+  Atomic.Comm.Atomic = true;
+  Steps.push_back({"flip-atomic", BaseSrc, Atomic});
+  PipelineOptions Pre = Base;
+  Pre.Mode = PipelineMode::Pre;
+  Steps.push_back({"flip-pre", BaseSrc, Pre});
+  return Steps;
+}
+
+/// Byte-compares the solver runs of two results (when both carry one).
+void expectRunsIdentical(const PipelineResult &Want,
+                         const PipelineResult &Got,
+                         const std::string &How) {
+  if (!Want.Plan || !Got.Plan)
+    return;
+  auto Check = [&](const std::optional<GntRun> &W,
+                   const std::optional<GntRun> &G, const char *Problem) {
+    ASSERT_EQ(W.has_value(), G.has_value()) << Problem << " (" << How << ")";
+    if (W)
+      expectResultsIdentical(W->Result, G->Result, Problem, How);
+  };
+  Check(Want.Plan->ReadRun, Got.Plan->ReadRun, "READ");
+  Check(Want.Plan->WriteRun, Got.Plan->WriteRun, "WRITE");
+}
+
+} // namespace
+
+/// The battery: every step's incremental compile is byte-identical to a
+/// cold compile, across shard counts and universe compression.
+TEST_P(IncrementalEquivalence, EditSweepMatchesColdCompile) {
+  for (unsigned Shards : {1u, 7u}) {
+    for (bool Compress : {false, true}) {
+      PipelineOptions Base;
+      Base.Annotate = true;
+      Base.Incremental = true;
+      Base.SolverShards = Shards;
+      Base.CompressUniverse = Compress;
+      StageCache Warm; // One warm cache across the whole edit script.
+      for (const EditStep &Step : editScript(GetParam(), Base)) {
+        std::string How = Step.Label + " shards=" + std::to_string(Shards) +
+                          " compress=" + std::to_string(Compress);
+        PipelineResult Inc =
+            gnt::Pipeline(Step.Opts).compile(Step.Source, &Warm);
+        PipelineOptions ColdOpts = Step.Opts;
+        ColdOpts.Incremental = false;
+        PipelineResult Cold = gnt::Pipeline(ColdOpts).compile(Step.Source);
+        EXPECT_EQ(resultSignature(Inc), resultSignature(Cold)) << How;
+        EXPECT_EQ(Inc.Annotated, Cold.Annotated) << How;
+        EXPECT_EQ(renderResultPayload(Inc), renderResultPayload(Cold))
+            << How;
+        expectRunsIdentical(Cold, Inc, How);
+      }
+      // The sweep must actually have exercised the machinery: the
+      // whitespace and revert steps guarantee downstream hits, and
+      // every comm-mode solve ran through the incremental context.
+      StageCacheStats S = Warm.statsSnapshot();
+      EXPECT_GT(S.hits(CacheStage::Cfg), 0u);
+      EXPECT_GT(S.hits(CacheStage::Solve), 0u);
+      EXPECT_TRUE(S.Inc.any());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalence,
+                         ::testing::Range(1u, 101u));

@@ -20,6 +20,7 @@
 
 #include "dataflow/Dump.h"
 #include "service/Pipeline.h"
+#include "service/StageCache.h"
 #include "sim/TraceSimulator.h"
 #include "support/Json.h"
 
@@ -81,6 +82,10 @@ void usage(std::FILE *To) {
       "                    solve over item equivalence classes instead of\n"
       "                    the full universe (byte-identical output;\n"
       "                    =off restores the uncompressed solve)\n"
+      "  --incremental     solve through a content-addressed stage cache\n"
+      "                    with interval-level incremental re-solving\n"
+      "                    (byte-identical output; one-shot runs populate\n"
+      "                    the memo, servers reap the reuse)\n"
       "\n"
       "analyses:\n"
       "  --analyze A       run a user-specified dataflow analysis and print\n"
@@ -129,6 +134,7 @@ const char *const KnownFlags[] = {
     "--owner-computes", "--no-hoist",
     "--baseline",      "--solver-shards",
     "--compress-universe", "--compress-universe=off",
+    "--incremental",
     "--analyze",       "--analyze-json",
     "--verify",        "--audit",
     "--audit-json",    "--werror",
@@ -224,6 +230,8 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
       O.Pipe.CompressUniverse = true;
     } else if (A == "--compress-universe=off") {
       O.Pipe.CompressUniverse = false;
+    } else if (A == "--incremental") {
+      O.Pipe.Incremental = true;
     } else if (A == "--analyze") {
       if (++I == Argc) {
         std::fprintf(stderr, "gntc: --analyze needs a value\n");
@@ -322,7 +330,12 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Source = readInput(O.File);
-  PipelineResult R = Pipeline(O.Pipe).compile(Source);
+  // --incremental compiles through a process-local stage cache; a
+  // one-shot run sees no reuse but exercises the identical code path
+  // the server uses (and the byte-identity contract with it).
+  StageCache Stages;
+  PipelineResult R = Pipeline(O.Pipe).compile(
+      Source, O.Pipe.Incremental ? &Stages : nullptr);
 
   // Parse or CFG/interval construction failures end the run.
   if (!R.ok()) {
@@ -425,7 +438,7 @@ int main(int Argc, char **Argv) {
     if (O.SimulateN >= 0) {
       SimConfig Config;
       Config.Params["n"] = O.SimulateN;
-      SimStats S = simulate(R.Prog, *R.Plan, Config);
+      SimStats S = simulate(*R.Prog, *R.Plan, Config);
       std::printf("! simulate n=%lld: messages=%llu volume=%llu exposed=%.0f "
                   "work=%.0f wasted=%llu redundant=%llu %s\n",
                   O.SimulateN, S.Messages, S.Volume, S.ExposedLatency, S.Work,

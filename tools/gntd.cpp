@@ -308,7 +308,9 @@ int runBatch(const Options &O, ServiceConfig Config) {
   }
   Server.flushDiskCache();
 
-  if (!writeMetrics(Server.metrics(), O))
+  // Snapshot, not the raw reference: the snapshot merges the stage
+  // cache's per-stage hit/miss counters and incremental solver totals.
+  if (!writeMetrics(Server.metricsSnapshot(), O))
     return 1;
   return 0;
 }
