@@ -4,116 +4,263 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Experiment E9 (DESIGN.md): placement-quality sweep over a suite of
-// generated data-parallel programs. For each strategy we aggregate
-// dynamic messages, volume, redundant transfers and exposed latency.
-// Expected shape (paper Section 2): naive >> lcm > vectorized >
-// give-n-take in message count; only give-n-take both eliminates
-// redundancy (O1, free definitions) and hides latency (split
-// send/receive).
+// Experiment E9 (DESIGN.md): the placement-strategy tournament. Every
+// strategy — the three baselines (naive, lcm, vectorized) and the three
+// first-class pipeline strategies (balanced, lospre, speculative) —
+// plans every program of four families:
+//
+//   structured  generated suite, no gotos (the interval abstraction is
+//               lossless here);
+//   jumps       generated suite with gotos out of loops (Section 5.3
+//               conservative treatment);
+//   biased      the biased-branch family: a loop-invariant distributed
+//               read guarded by a branch taken (n-1)/n of the time —
+//               the family speculation exists for;
+//   corpus      every checked-in tests/corpus/*.fm distillation.
+//
+// Each (family, strategy) cell aggregates dynamic messages, volume,
+// exposed latency, redundancy, waste, the register-pressure proxy
+// (peak simultaneously-available remote sections) and the
+// profile-expected message cost; the timed benchmark measures plan
+// construction (for speculative that includes its profile training
+// run). The trajectory reporter mirrors every cell into
+// BENCH_placement_tournament.json (gnt-bench-v1), which CI uploads.
+//
+// Expected shape: naive >> lcm > vectorized > balanced on messages;
+// lospre == lcm on structured programs and <= lcm under jumps;
+// speculative < balanced on expected dynamic cost for the biased
+// family and never above it elsewhere.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "BenchUtil.h"
 
+#include "comm/Strategy.h"
+
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace gnt;
 using namespace gnt::bench;
 
 namespace {
 
-struct Aggregate {
-  double Messages = 0, Volume = 0, Exposed = 0, Redundant = 0, Wasted = 0,
-         Time = 0;
-  unsigned Errors = 0;
+enum Family : unsigned { Structured, Jumps, Biased, Corpus, NumFamilies };
+enum Strat : unsigned {
+  Naive,
+  Lcm,
+  Vectorized,
+  Balanced,
+  LospreStrat,
+  SpeculativeStrat,
+  NumStrats
 };
 
-void accumulate(Aggregate &A, const SimStats &S, const SimConfig &C) {
-  A.Messages += static_cast<double>(S.Messages);
-  A.Volume += static_cast<double>(S.Volume);
-  A.Exposed += S.ExposedLatency;
-  A.Redundant += static_cast<double>(S.Redundant);
-  A.Wasted += static_cast<double>(S.Wasted);
-  A.Time += S.totalTime(C);
-  A.Errors += S.ok() ? 0 : 1;
+const char *const FamilyNames[NumFamilies] = {"structured", "jumps",
+                                              "biased", "corpus"};
+const char *const StratNames[NumStrats] = {
+    "naive", "lcm", "vectorized", "balanced", "lospre", "speculative"};
+
+/// The evaluation binding: big trip counts and a heavily biased branch
+/// distribution, so the biased family's likely arm really dominates.
+SimConfig evalConfig(unsigned Seed) {
+  SimConfig C;
+  C.Params["n"] = 32;
+  C.Latency = 100.0;
+  C.BranchSeed = Seed;
+  C.BranchTrueProb = 0.9;
+  return C;
 }
 
-Built buildSuite(unsigned Seed, bool Jumps) {
-  GenConfig C;
-  C.Seed = Seed;
-  C.TargetStmts = 45;
-  C.GotoProb = Jumps ? 0.1 : 0.0;
-  Built B;
-  B.Prog = generateRandomProgram(C);
-  CfgBuildResult CfgRes = buildCfg(B.Prog);
-  B.G = std::move(CfgRes.G);
-  auto IfgRes = IntervalFlowGraph::build(B.G);
-  B.Ifg = std::move(*IfgRes.Ifg);
-  return B;
+std::string biasedSource(unsigned Seed) {
+  // A loop whose biased branch consumes loop-invariant distributed
+  // sections on the likely arm; the guard constant and section indices
+  // vary with the seed so the family is not one single program.
+  std::string S = "distribute x, y\n";
+  S += "do i = 1, n\n";
+  S += "  if (i > " + std::to_string(1 + Seed % 3) + ") then\n";
+  S += "    y(i) = x(" + std::to_string(3 + Seed % 5) + ") + x(" +
+       std::to_string(9 + Seed % 4) + ")\n";
+  S += "  else\n";
+  S += "    y(i) = " + std::to_string(Seed) + "\n";
+  S += "  endif\n";
+  S += "enddo\n";
+  return S;
 }
 
-void reportSuite(const char *Title, bool Jumps) {
-  constexpr unsigned Seeds = 24;
-  Aggregate Agg[4];
-  const char *Names[4] = {"naive", "lcm", "vectorized", "give-n-take"};
-
-  for (unsigned Seed = 1; Seed <= Seeds; ++Seed) {
-    Built B = buildSuite(Seed, Jumps);
-    CommPlan Plans[4] = {
-        naivePlacement(B.Prog, B.G, B.Ifg),
-        lcmPlacement(B.Prog, B.G, B.Ifg),
-        vectorizedPlacement(B.Prog, B.G, B.Ifg),
-        generateComm(B.Prog, B.G, B.Ifg),
-    };
-    SimConfig Config;
-    Config.Params["n"] = 32;
-    Config.Latency = 100.0;
-    Config.BranchSeed = Seed;
-    for (unsigned I = 0; I != 4; ++I)
-      accumulate(Agg[I], simulate(B.Prog, Plans[I], Config), Config);
+const std::vector<Built> &familySuite(Family F) {
+  static std::vector<Built> Suites[NumFamilies];
+  static bool Done[NumFamilies] = {};
+  if (Done[F])
+    return Suites[F];
+  std::vector<Built> &Out = Suites[F];
+  switch (F) {
+  case Structured:
+  case Jumps:
+    for (unsigned Seed = 1; Seed <= 16; ++Seed) {
+      GenConfig C;
+      C.Seed = Seed;
+      C.TargetStmts = 45;
+      C.GotoProb = F == Jumps ? 0.1 : 0.0;
+      Built B;
+      B.Prog = generateRandomProgram(C);
+      CfgBuildResult CfgRes = buildCfg(B.Prog);
+      B.G = std::move(CfgRes.G);
+      auto IfgRes = IntervalFlowGraph::build(B.G);
+      B.Ifg = std::move(*IfgRes.Ifg);
+      Out.push_back(std::move(B));
+    }
+    break;
+  case Biased:
+    for (unsigned Seed = 1; Seed <= 8; ++Seed)
+      Out.push_back(buildSource(biasedSource(Seed)));
+    break;
+  case Corpus: {
+    std::vector<std::string> Paths;
+    std::error_code Ec;
+    for (const auto &Entry :
+         std::filesystem::directory_iterator(GNT_BENCH_CORPUS_DIR, Ec))
+      if (Entry.path().extension() == ".fm")
+        Paths.push_back(Entry.path().string());
+    std::sort(Paths.begin(), Paths.end());
+    for (const std::string &Path : Paths) {
+      std::ifstream In(Path);
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      Out.push_back(buildSource(SS.str()));
+    }
+    break;
   }
+  case NumFamilies:
+    break;
+  }
+  Done[F] = true;
+  return Out;
+}
 
-  std::printf("%s\n", Title);
-  std::printf("  %-12s | %10s | %10s | %12s | %10s | %8s | %12s | %s\n",
-              "strategy", "messages", "volume", "exposed", "redundant",
-              "wasted", "total time", "errors");
-  for (unsigned I = 0; I != 4; ++I)
-    std::printf("  %-12s | %10.0f | %10.0f | %12.0f | %10.0f | %8.0f | "
-                "%12.0f | %u\n",
-                Names[I], Agg[I].Messages, Agg[I].Volume, Agg[I].Exposed,
-                Agg[I].Redundant, Agg[I].Wasted, Agg[I].Time,
-                Agg[I].Errors);
-  std::printf("\n");
+CommPlan planFor(Strat S, const Built &B) {
+  switch (S) {
+  case Naive:
+    return naivePlacement(B.Prog, B.G, B.Ifg);
+  case Lcm:
+    return lcmPlacement(B.Prog, B.G, B.Ifg);
+  case Vectorized:
+    return vectorizedPlacement(B.Prog, B.G, B.Ifg);
+  case Balanced:
+    return generateComm(B.Prog, B.G, B.Ifg);
+  case LospreStrat:
+    return losprePlacement(B.Prog, B.G, B.Ifg, CommOptions());
+  case SpeculativeStrat: {
+    // Speculation's cost includes its training run: a balanced plan
+    // simulated under the biased evaluation distribution.
+    CommPlan BalancedPlan = generateComm(B.Prog, B.G, B.Ifg);
+    SimStats Train = simulate(B.Prog, BalancedPlan, evalConfig(1));
+    return generateSpeculativeComm(B.Prog, B.G, B.Ifg, CommOptions(),
+                                   Train.Profile);
+  }
+  case NumStrats:
+    break;
+  }
+  return {};
+}
+
+struct Cell {
+  double Messages = 0, Volume = 0, Exposed = 0, Redundant = 0, Wasted = 0,
+         PeakAvail = 0, ExpectedCost = 0, Time = 0;
+  unsigned Errors = 0, Programs = 0;
+};
+
+/// One tournament cell, computed once and memoized: the quality sweep
+/// is deterministic, and both the console table and the benchmark
+/// counters read the same numbers.
+const Cell &cell(Family F, Strat S) {
+  static Cell Table[NumFamilies][NumStrats];
+  static bool Done[NumFamilies][NumStrats] = {};
+  Cell &C = Table[F][S];
+  if (Done[F][S])
+    return C;
+  unsigned Seed = 0;
+  for (const Built &B : familySuite(F)) {
+    ++Seed;
+    CommPlan Plan = planFor(S, B);
+    SimConfig Config = evalConfig(Seed);
+    SimStats Stats = simulate(B.Prog, Plan, Config);
+    C.Messages += static_cast<double>(Stats.Messages);
+    C.Volume += static_cast<double>(Stats.Volume);
+    C.Exposed += Stats.ExposedLatency;
+    C.Redundant += static_cast<double>(Stats.Redundant);
+    C.Wasted += static_cast<double>(Stats.Wasted);
+    C.PeakAvail += static_cast<double>(Stats.PeakAvail);
+    C.ExpectedCost += expectedMessageCost(B.Prog, Plan, Stats.Profile);
+    C.Time += Stats.totalTime(Config);
+    C.Errors += Stats.ok() ? 0 : 1;
+    ++C.Programs;
+  }
+  Done[F][S] = true;
+  return C;
 }
 
 void report() {
-  std::printf("== E9: placement quality over 24 random programs ==\n"
-              "(totals, N = 32, latency = 100)\n\n");
-  reportSuite("-- structured suite (no gotos out of loops) --", false);
-  reportSuite("-- jump suite (gotos out of loops; GIVE-N-TAKE's AFTER\n"
-              "   problems fall back to the paper's conservative Section\n"
-              "   5.3 treatment) --",
-              true);
-}
-
-void BM_QualityPipelineGnt(benchmark::State &State) {
-  Built B = buildRandom(static_cast<unsigned>(State.range(0)), 45);
-  for (auto _ : State) {
-    CommPlan Plan = generateComm(B.Prog, B.G, B.Ifg);
-    benchmark::DoNotOptimize(Plan.Anchored.size());
+  std::printf("== E9: placement-strategy tournament ==\n"
+              "(totals per family, N = 32, latency = 100, branch bias "
+              "0.9)\n\n");
+  for (unsigned F = 0; F != NumFamilies; ++F) {
+    std::printf("-- %s (%zu programs) --\n", FamilyNames[F],
+                familySuite(static_cast<Family>(F)).size());
+    std::printf("  %-12s | %9s | %9s | %11s | %9s | %7s | %10s | %13s | %s\n",
+                "strategy", "messages", "volume", "exposed", "redundant",
+                "wasted", "peakavail", "expected-cost", "errors");
+    for (unsigned S = 0; S != NumStrats; ++S) {
+      const Cell &C = cell(static_cast<Family>(F), static_cast<Strat>(S));
+      std::printf("  %-12s | %9.0f | %9.0f | %11.0f | %9.0f | %7.0f | "
+                  "%10.0f | %13.1f | %u\n",
+                  StratNames[S], C.Messages, C.Volume, C.Exposed,
+                  C.Redundant, C.Wasted, C.PeakAvail, C.ExpectedCost,
+                  C.Errors);
+    }
+    std::printf("\n");
   }
 }
-BENCHMARK(BM_QualityPipelineGnt)->Arg(1)->Arg(2)->Arg(3);
 
-void BM_QualityPipelineLcm(benchmark::State &State) {
-  Built B = buildRandom(static_cast<unsigned>(State.range(0)), 45);
+/// The timed half of a tournament cell: plan construction over the
+/// whole family (for speculative that includes the training run). The
+/// quality metrics ride along as counters so the JSON trajectory
+/// carries the full cell.
+void BM_Tournament(benchmark::State &State, Family F, Strat S) {
+  const std::vector<Built> &Suite = familySuite(F);
   for (auto _ : State) {
-    CommPlan Plan = lcmPlacement(B.Prog, B.G, B.Ifg);
-    benchmark::DoNotOptimize(Plan.Anchored.size());
+    for (const Built &B : Suite) {
+      CommPlan Plan = planFor(S, B);
+      benchmark::DoNotOptimize(Plan.Anchored.size());
+    }
   }
+  const Cell &C = cell(F, S);
+  State.counters["programs"] = C.Programs;
+  State.counters["messages"] = C.Messages;
+  State.counters["volume"] = C.Volume;
+  State.counters["exposed"] = C.Exposed;
+  State.counters["redundant"] = C.Redundant;
+  State.counters["wasted"] = C.Wasted;
+  State.counters["peak_avail"] = C.PeakAvail;
+  State.counters["expected_cost"] = C.ExpectedCost;
+  State.counters["sim_errors"] = C.Errors;
 }
-BENCHMARK(BM_QualityPipelineLcm)->Arg(1)->Arg(2)->Arg(3);
+
+void registerTournament() {
+  for (unsigned F = 0; F != NumFamilies; ++F)
+    for (unsigned S = 0; S != NumStrats; ++S)
+      benchmark::RegisterBenchmark(
+          (std::string("BM_Tournament/") + FamilyNames[F] + "/" +
+           StratNames[S])
+              .c_str(),
+          BM_Tournament, static_cast<Family>(F), static_cast<Strat>(S))
+          ->Unit(benchmark::kMillisecond);
+}
 
 void BM_Simulate(benchmark::State &State) {
   Built B = buildRandom(1, 45);
@@ -131,7 +278,7 @@ BENCHMARK(BM_Simulate);
 
 int main(int argc, char **argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  registerTournament();
+  return runBenchmarksWithTrajectory(argc, argv,
+                                     "BENCH_placement_tournament.json");
 }

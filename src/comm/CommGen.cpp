@@ -158,6 +158,53 @@ AnchorKey exitAnchor(const CfgNode &Node) {
 
 } // namespace
 
+void gnt::emitCommPhase(CommPlan &Plan, const Cfg &G,
+                        const IntervalFlowGraph &Ifg, const GntRun &Run,
+                        Urgency SendUrg, CommOpKind SendKind,
+                        CommOpKind RecvKind, CommOpKind AtomicKind,
+                        bool Atomic) {
+  // Sends precede receives at one point. For READs the send is the EAGER
+  // solution; for WRITEs it is the LAZY one (Section 3.1).
+  Urgency RecvUrg = SendUrg == Urgency::Eager ? Urgency::Lazy
+                                              : Urgency::Eager;
+  for (NodeId N : Ifg.preorder()) {
+    const CfgNode &Node = G.node(N);
+    if (!Node.EmitStmt)
+      continue; // Entry/Exit have no print position; the solver pins
+                // ROOT's placements to bottom.
+    auto emit = [&](const AnchorKey &K, CommOpKind Kind,
+                    const BitVector &BV) {
+      for (unsigned I : BV)
+        Plan.Anchored[K].push_back({Kind, I});
+    };
+    // Exit production on a branch node (possible for AFTER problems:
+    // RES_in of the reversed graph) executes when control leaves the
+    // branch on either arm — it must print at the top of *both* arms,
+    // not after the merge, or it would incorrectly follow the arms'
+    // statements.
+    auto emitExit = [&](CommOpKind Kind, const BitVector &BV) {
+      if (BV.none())
+        return;
+      if (Node.Kind == NodeKind::Branch) {
+        emit({Node.EmitStmt, EmitWhere::ThenEntry}, Kind, BV);
+        emit({Node.EmitStmt, EmitWhere::ElseEntry}, Kind, BV);
+        return;
+      }
+      emit(exitAnchor(Node), Kind, BV);
+    };
+    AnchorKey In = entryAnchor(Node);
+    if (Atomic) {
+      emit(In, AtomicKind, Run.resAtEntry(Urgency::Lazy, N));
+      emitExit(AtomicKind, Run.resAtExit(Urgency::Lazy, N));
+      continue;
+    }
+    emit(In, SendKind, Run.resAtEntry(SendUrg, N));
+    emit(In, RecvKind, Run.resAtEntry(RecvUrg, N));
+    emitExit(SendKind, Run.resAtExit(SendUrg, N));
+    emitExit(RecvKind, Run.resAtExit(RecvUrg, N));
+  }
+}
+
 CommPlan gnt::generateComm(const Program &P, const Cfg &G,
                            const IntervalFlowGraph &Ifg,
                            const CommOptions &Opts, unsigned SolverShards,
@@ -188,56 +235,14 @@ CommPlan gnt::generateComm(const Program &P, const Cfg &G,
   // current before data is re-fetched — Figure 3's ordering); within a
   // phase, nodes contribute in program (preorder) order, sends before
   // receives.
-  // Sends precede receives at one point. For READs the send is the EAGER
-  // solution; for WRITEs it is the LAZY one (Section 3.1).
-  auto emitPhase = [&](const GntRun &Run, Urgency SendUrg,
-                       CommOpKind SendKind, CommOpKind RecvKind,
-                       CommOpKind AtomicKind) {
-    Urgency RecvUrg = SendUrg == Urgency::Eager ? Urgency::Lazy
-                                                : Urgency::Eager;
-    for (NodeId N : Ifg.preorder()) {
-      const CfgNode &Node = G.node(N);
-      if (!Node.EmitStmt)
-        continue; // Entry/Exit have no print position; the solver pins
-                  // ROOT's placements to bottom.
-      auto emit = [&](const AnchorKey &K, CommOpKind Kind,
-                      const BitVector &BV) {
-        for (unsigned I : BV)
-          Plan.Anchored[K].push_back({Kind, I});
-      };
-      // Exit production on a branch node (possible for AFTER problems:
-      // RES_in of the reversed graph) executes when control leaves the
-      // branch on either arm — it must print at the top of *both* arms,
-      // not after the merge, or it would incorrectly follow the arms'
-      // statements.
-      auto emitExit = [&](CommOpKind Kind, const BitVector &BV) {
-        if (BV.none())
-          return;
-        if (Node.Kind == NodeKind::Branch) {
-          emit({Node.EmitStmt, EmitWhere::ThenEntry}, Kind, BV);
-          emit({Node.EmitStmt, EmitWhere::ElseEntry}, Kind, BV);
-          return;
-        }
-        emit(exitAnchor(Node), Kind, BV);
-      };
-      AnchorKey In = entryAnchor(Node);
-      if (Opts.Atomic) {
-        emit(In, AtomicKind, Run.resAtEntry(Urgency::Lazy, N));
-        emitExit(AtomicKind, Run.resAtExit(Urgency::Lazy, N));
-        continue;
-      }
-      emit(In, SendKind, Run.resAtEntry(SendUrg, N));
-      emit(In, RecvKind, Run.resAtEntry(RecvUrg, N));
-      emitExit(SendKind, Run.resAtExit(SendUrg, N));
-      emitExit(RecvKind, Run.resAtExit(RecvUrg, N));
-    }
-  };
   if (Plan.WriteRun)
-    emitPhase(*Plan.WriteRun, Urgency::Lazy, CommOpKind::WriteSend,
-              CommOpKind::WriteRecv, CommOpKind::AtomicWrite);
+    emitCommPhase(Plan, G, Ifg, *Plan.WriteRun, Urgency::Lazy,
+                  CommOpKind::WriteSend, CommOpKind::WriteRecv,
+                  CommOpKind::AtomicWrite, Opts.Atomic);
   if (Plan.ReadRun)
-    emitPhase(*Plan.ReadRun, Urgency::Eager, CommOpKind::ReadSend,
-              CommOpKind::ReadRecv, CommOpKind::AtomicRead);
+    emitCommPhase(Plan, G, Ifg, *Plan.ReadRun, Urgency::Eager,
+                  CommOpKind::ReadSend, CommOpKind::ReadRecv,
+                  CommOpKind::AtomicRead, Opts.Atomic);
 
   return Plan;
 }

@@ -144,6 +144,17 @@ void buildCommProblems(const RefAnalysisResult &Refs, const Cfg &G,
                        const IntervalFlowGraph &Ifg, const CommOptions &Opts,
                        GntProblem &Read, GntProblem &Write);
 
+/// Emits one solver run's productions into \p Plan.Anchored: nodes in
+/// preorder, sends before receives, branch-node exit production
+/// duplicated onto both arm entries. \p SendUrg selects which urgency is
+/// the send (EAGER for READ phases, LAZY for WRITE phases); \p Atomic
+/// emits the fused LAZY-only operation instead. Shared between
+/// generateComm and the strategy planners (comm/Strategy.h), which must
+/// anchor byte-identically.
+void emitCommPhase(CommPlan &Plan, const Cfg &G, const IntervalFlowGraph &Ifg,
+                   const GntRun &Run, Urgency SendUrg, CommOpKind SendKind,
+                   CommOpKind RecvKind, CommOpKind AtomicKind, bool Atomic);
+
 } // namespace gnt
 
 #endif // GNT_COMM_COMMGEN_H

@@ -6,6 +6,7 @@
 
 #include "fuzz/Oracle.h"
 
+#include "comm/Strategy.h"
 #include "fuzz/Metamorphic.h"
 #include "fuzz/Mutator.h"
 #include "service/Pipeline.h"
@@ -273,7 +274,70 @@ OracleOutcome gnt::fuzz::runOracle(const std::string &Source,
             {"simulator.trace", "config " + itostr(static_cast<long long>(I)) +
                                     ": " + E});
 
-  // Layer 7: metamorphic variants. Only on inputs that are clean so
+  // Layer 7: placement strategies. Only on inputs clean so far, for the
+  // same anti-cascade reason as the metamorphic layer: each non-balanced
+  // strategy re-compiles the input through the audit stack, simulates
+  // under the shared configs, and must be shard/compression invariant.
+  // Speculation trains on a biased execution of the balanced plan; on
+  // jump-free inputs its adoption gate (strict expected-cost win, exact
+  // under the anchor-frequency model) makes "no more messages than
+  // balanced on the training trajectory" a hard contract.
+  if (Opts.Strategies && Out.Findings.empty()) {
+    SimConfig TrainCfg;
+    TrainCfg.Params["n"] = 9;
+    TrainCfg.BranchSeed = 1;
+    TrainCfg.BranchTrueProb = 0.85;
+    TrainCfg.DefaultTrip = 4;
+    SimStats Train = simulate(*R.Prog, *R.Plan, TrainCfg);
+    for (PlacementStrategy Strat :
+         {PlacementStrategy::Speculative, PlacementStrategy::Lospre}) {
+      std::string Prefix =
+          std::string("strategies.") + placementStrategyName(Strat);
+      PipelineOptions SOpts = checkedOptions();
+      SOpts.Strategy = Strat;
+      if (Strat == PlacementStrategy::Speculative) {
+        if (!Train.ok())
+          continue; // The balanced trace failed its own layer already.
+        SOpts.Profile = renderExecProfile(Train.Profile);
+      }
+      PipelineResult SR = compilePipeline(Source, SOpts);
+      if (!SR.ok() || !SR.Plan) {
+        Out.Findings.push_back({Prefix + ".audit", SR.Diags.renderText()});
+        continue;
+      }
+      PipelineOptions InvOpts = SOpts;
+      InvOpts.SolverShards = 7;
+      InvOpts.CompressUniverse = true;
+      PipelineResult InvR = compilePipeline(Source, InvOpts);
+      if (resultSignature(SR) != resultSignature(InvR))
+        Out.Findings.push_back(
+            {Prefix + ".invariance",
+             "resultSignature differs between the serial and the "
+             "7-shard universe-compressed compile"});
+      std::vector<SimConfig> Configs = simConfigs();
+      for (std::size_t I = 0; I != Configs.size(); ++I) {
+        SimStats SS = simulate(*SR.Prog, *SR.Plan, Configs[I]);
+        for (const std::string &E : SS.Errors)
+          Out.Findings.push_back(
+              {Prefix + ".trace",
+               "config " + itostr(static_cast<long long>(I)) + ": " + E});
+      }
+      if (Strat == PlacementStrategy::Speculative &&
+          !R.Ifg->hasJumpEdges()) {
+        SimStats SpecSim = simulate(*SR.Prog, *SR.Plan, TrainCfg);
+        if (SpecSim.ok() && SpecSim.Messages > Train.Messages)
+          Out.Findings.push_back(
+              {Prefix + ".cost-regression",
+               "speculative plan executed " +
+                   itostr(static_cast<long long>(SpecSim.Messages)) +
+                   " messages vs balanced " +
+                   itostr(static_cast<long long>(Train.Messages)) +
+                   " under its own training profile"});
+      }
+    }
+  }
+
+  // Layer 8: metamorphic variants. Only on inputs that are clean so
   // far — a real defect should surface as its primary class, not as a
   // cascade of derived mismatches.
   if (Opts.Metamorphic && Out.Findings.empty()) {

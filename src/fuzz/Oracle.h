@@ -27,7 +27,15 @@
 ///  6. trace simulation — the annotated program executes under several
 ///     (params, branch-seed) bindings; any dynamic C1/C3 violation is a
 ///     finding;
-///  7. metamorphic layer — each semantics-preserving transform from
+///  7. strategy layer — the input re-compiles under every non-balanced
+///     placement strategy (comm/Strategy.h): `lospre`, and
+///     `speculative` fed a profile from a biased training execution of
+///     the balanced plan. Each must pass the audit stack, simulate
+///     without dynamic violations, and stay shard/compression
+///     invariant; on jump-free programs the speculative plan must not
+///     execute more messages than balanced under the profile-generating
+///     trajectory;
+///  8. metamorphic layer — each semantics-preserving transform from
 ///     Metamorphic.h is applied and the variant's SimStats must match
 ///     the original under the transform's invariant mask.
 ///
@@ -53,6 +61,11 @@ struct OracleOptions {
   bool Differential = true;
   bool Simulate = true;
   bool Metamorphic = true;
+  /// Strategy layer: `lospre` and profile-fed `speculative` compiles of
+  /// the input, each gated on audit, trace simulation, invariance, and
+  /// (speculative, jump-free inputs) the message-cost contract.
+  /// Findings are "strategies.<name>.*".
+  bool Strategies = true;
   /// Incremental differential: prime a stage cache with the input,
   /// derive an edited variant, compile the variant incrementally from
   /// the warm cache and byte-diff it against a cold compile. Findings

@@ -51,6 +51,22 @@ bool decodeOptions(const JsonValue &Obj, PipelineOptions &Opts,
         return false;
       }
       Opts.Baseline = V.S;
+    } else if (Key == "strategy") {
+      // Placement strategy: semantic (part of the cache key), unlike
+      // solver_shards/compress_universe/incremental below.
+      if (!V.isString() || !parsePlacementStrategy(V.S, Opts.Strategy)) {
+        Error = "option `strategy` must be \"balanced\", \"speculative\" "
+                "or \"lospre\"";
+        return false;
+      }
+    } else if (Key == "profile") {
+      // gnt-profile-v1 text for the speculative strategy. Semantic
+      // (cached); validated by the pipeline at solve time.
+      if (!V.isString()) {
+        Error = "option `profile` must be a string";
+        return false;
+      }
+      Opts.Profile = V.S;
     } else if (Key == "atomic") {
       if (!optionBool(V, Key, Opts.Comm.Atomic, Error))
         return false;

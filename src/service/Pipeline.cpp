@@ -49,6 +49,12 @@ std::string PipelineOptions::canonical() const {
        : StopAfter == PipelineStop::AfterInterval ? "interval"
                                                   : "full";
   R += ";baseline=" + Baseline;
+  R += ";strategy=";
+  R += placementStrategyName(Strategy);
+  R += ";profile=";
+  R += '\x1f'; // Unit separators: profile text is free-form.
+  R += Profile;
+  R += '\x1f';
   R += ";atomic=" + itostr(Comm.Atomic);
   R += ";owner_computes=" + itostr(Comm.OwnerComputes);
   R += ";hoist_zero_trip=" + itostr(Comm.HoistZeroTrip);
@@ -158,6 +164,26 @@ PipelineResult Pipeline::compile(const std::string &Source,
                                  StageCache *Cache) const {
   PipelineResult R;
   R.Opts = Opts;
+
+  // A non-balanced strategy reconfigures the GIVE-N-TAKE engine; it has
+  // no meaning for PRE mode or for a baseline engine.
+  if (Opts.Strategy != PlacementStrategy::Balanced) {
+    if (Opts.Mode == PipelineMode::Pre) {
+      R.Diags.add(makeError(CheckId::Engine,
+                            "placement strategies apply to communication "
+                            "placement; PRE mode is balanced-only"));
+      return R;
+    }
+    if (!Opts.Baseline.empty()) {
+      R.Diags.add(makeError(
+          CheckId::Engine,
+          "strategy `" +
+              std::string(placementStrategyName(Opts.Strategy)) +
+              "` conflicts with baseline `" + Opts.Baseline +
+              "`: baselines bypass the GIVE-N-TAKE engine"));
+      return R;
+    }
+  }
 
   // Frontend. Keyed by the raw source text; the artifact carries the
   // canonical AST digest that addresses every downstream stage.
@@ -277,7 +303,9 @@ PipelineResult Pipeline::compile(const std::string &Source,
     GntIncrementalContext *Inc = nullptr;
     GntIncrementalStats Before;
     if (Cache && Opts.Incremental &&
-        (Opts.Mode == PipelineMode::Pre || Opts.Baseline.empty())) {
+        (Opts.Mode == PipelineMode::Pre ||
+         (Opts.Baseline.empty() &&
+          Opts.Strategy == PlacementStrategy::Balanced))) {
       Slot = Cache->solveSlot(SolveOpts);
       SlotLock = std::unique_lock<std::mutex>(Slot->M);
       Inc = &Slot->Ctx;
@@ -300,9 +328,21 @@ PipelineResult Pipeline::compile(const std::string &Source,
         R.Plan = std::make_shared<const CommPlan>(
             lcmPlacement(*R.Prog, R.G, *R.Ifg));
       else if (Opts.Baseline.empty()) {
-        R.Plan = std::make_shared<const CommPlan>(
-            generateComm(*R.Prog, R.G, *R.Ifg, Opts.Comm, Opts.SolverShards,
-                         Opts.CompressUniverse, Inc));
+        if (Opts.Strategy == PlacementStrategy::Balanced)
+          R.Plan = std::make_shared<const CommPlan>(
+              generateComm(*R.Prog, R.G, *R.Ifg, Opts.Comm,
+                           Opts.SolverShards, Opts.CompressUniverse, Inc));
+        else {
+          ExecProfile Prof;
+          std::string ProfErr;
+          if (!parseExecProfile(Opts.Profile, Prof, ProfErr)) {
+            R.Diags.add(makeError(CheckId::Engine, ProfErr));
+            return R;
+          }
+          R.Plan = std::make_shared<const CommPlan>(generateStrategyComm(
+              Opts.Strategy, *R.Prog, R.G, *R.Ifg, Opts.Comm, Prof,
+              Opts.SolverShards, Opts.CompressUniverse));
+        }
         if (R.Plan->ReadRun)
           recordCompression(R, R.Plan->ReadRun->Result.Compression);
         if (R.Plan->WriteRun)

@@ -30,6 +30,7 @@
 #include "analysis/Diagnostics.h"
 #include "analysis/SpecCompile.h"
 #include "comm/CommGen.h"
+#include "comm/Strategy.h"
 #include "interval/IntervalFlowGraph.h"
 #include "pre/ExprPre.h"
 
@@ -85,6 +86,20 @@ struct PipelineOptions {
   /// ("naive", "vectorized", "lcm"). Unknown names fail compile() with
   /// an Engine diagnostic. Ignored in PRE mode.
   std::string Baseline;
+
+  /// Placement strategy for the GIVE-N-TAKE engine (comm/Strategy.h):
+  /// the paper's balanced discipline (default), profile-guided
+  /// speculative hoisting, or the linear-time lospre formulation.
+  /// Conflicts with Baseline and with PRE mode (Engine diagnostic).
+  /// Unlike SolverShards this changes output, so it IS part of
+  /// canonical() and of the stage-cache solve key.
+  PlacementStrategy Strategy = PlacementStrategy::Balanced;
+
+  /// Execution profile text in the gnt-profile-v1 format, consumed by
+  /// the speculative strategy (empty = no profile, speculative degrades
+  /// to balanced). Part of canonical(): two requests with different
+  /// profiles may place differently and must not share a cache entry.
+  std::string Profile;
 
   /// Communication generation knobs (Comm mode only).
   CommOptions Comm;

@@ -229,6 +229,12 @@ std::string StageCache::solveOptionsKey(const PipelineOptions &Opts) {
   R += "mode=";
   R += Opts.Mode == PipelineMode::Comm ? "comm" : "pre";
   R += ";baseline=" + Opts.Baseline;
+  R += ";strategy=";
+  R += placementStrategyName(Opts.Strategy);
+  R += ";profile=";
+  R += '\x1f'; // Unit separators: profile text is free-form.
+  R += Opts.Profile;
+  R += '\x1f';
   R += ";atomic=" + itostr(Opts.Comm.Atomic);
   R += ";owner_computes=" + itostr(Opts.Comm.OwnerComputes);
   R += ";hoist_zero_trip=" + itostr(Opts.Comm.HoistZeroTrip);

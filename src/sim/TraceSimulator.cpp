@@ -135,6 +135,15 @@ private:
   // Communication operations
   //===--------------------------------------------------------------------===//
 
+  void setAvail(ItemState &S, bool V) {
+    if (S.Avail == V)
+      return;
+    S.Avail = V;
+    AvailCount += V ? 1 : -1;
+    if (AvailCount > Stats.PeakAvail)
+      Stats.PeakAvail = AvailCount;
+  }
+
   void chargeMessage(unsigned Item, double SendTime) {
     ++Stats.Messages;
     Stats.Volume += static_cast<unsigned long long>(Sizes[Item]);
@@ -164,14 +173,14 @@ private:
       }
       S.ReadPending = false;
       chargeMessage(Op.Item, S.ReadSendTime);
-      S.Avail = true;
+      setAvail(S, true);
       S.ConsumedSinceProduced = false;
       break;
     case CommOpKind::AtomicRead:
       if (S.Avail)
         ++Stats.Redundant;
       chargeMessage(Op.Item, Now); // No hiding: send and receive fused.
-      S.Avail = true;
+      setAvail(S, true);
       S.ConsumedSinceProduced = false;
       break;
     case CommOpKind::WriteSend:
@@ -251,12 +260,12 @@ private:
         ++Stats.Wasted;
       if (St.ReadPending)
         error("C1: read of " + itemName(I) + " in flight at a steal");
-      St.Avail = false;
+      setAvail(St, false);
     }
     // ... produce their own section for free ...
     for (unsigned I : Plan.ReadProblem.GiveInit[N]) {
       ItemState &St = Items[I];
-      St.Avail = true;
+      setAvail(St, true);
       St.ConsumedSinceProduced = true; // Free: never counted as waste.
     }
     // ... and leave data to be written back.
@@ -302,6 +311,7 @@ private:
   void execStmt(const Stmt *S, bool SkipEntryAnchor = false) {
     if (Halt)
       return;
+    Stats.Profile.Stmt[Ordinal[S]] += 1;
     if (!SkipEntryAnchor)
       fireAnchor(S, EmitWhere::Before);
     switch (S->getKind()) {
@@ -327,6 +337,7 @@ private:
       long long V = Lo;
       for (; V <= Hi && !Halt; ++V) {
         Env[Idx] = V;
+        Stats.Profile.Loop[Ordinal[S]] += 1;
         fireAnchor(S, EmitWhere::BodyStart);
         runList(D->getBody());
         if (Jump || Halt)
@@ -340,12 +351,15 @@ private:
       const auto *If = cast<IfStmt>(S);
       nodeEvents(S);
       step();
+      auto &Arms = Stats.Profile.Branch[Ordinal[S]];
       if (evalCond(If->getCond())) {
+        Arms.first += 1;
         fireAnchor(S, EmitWhere::ThenEntry);
         runList(If->getThen());
         if (!Jump && !Halt)
           fireAnchor(S, EmitWhere::ThenExit);
       } else {
+        Arms.second += 1;
         fireAnchor(S, EmitWhere::ElseEntry);
         runList(If->getElse());
         if (!Jump && !Halt)
@@ -408,6 +422,7 @@ private:
   std::optional<PendingJump> Jump;
   std::map<const Stmt *, unsigned> Ordinal;
   std::vector<bool> EverGiven;
+  unsigned long long AvailCount = 0;
   bool Halt = false;
   bool HasWrites = false;
   double Now = 0;

@@ -27,6 +27,7 @@
 #define GNT_SIM_TRACESIMULATOR_H
 
 #include "comm/CommGen.h"
+#include "comm/Strategy.h"
 
 #include <map>
 #include <string>
@@ -74,6 +75,12 @@ struct SimStats {
   /// (Section 2), counted rather than flagged.
   unsigned long long OptimisticMisses = 0;
   unsigned long long Steps = 0;     ///< Assignments executed.
+  /// Peak number of simultaneously available items — a register-pressure
+  /// proxy for placement strategies that widen live ranges by hoisting.
+  unsigned long long PeakAvail = 0;
+  /// Execution frequencies observed by this run, keyed by statement
+  /// ordinal (gnt-profile-v1). Feed back into the speculative strategy.
+  ExecProfile Profile;
   std::vector<std::string> Errors;  ///< Dynamic C1/C3 violations.
 
   bool ok() const { return Errors.empty(); }

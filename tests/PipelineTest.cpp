@@ -357,6 +357,31 @@ TEST(Pipeline, CacheKeyAuditSeparatesStrategyFromSemantics) {
     O.Comm.OwnerComputes = true;
     Semantic.emplace_back("owner_computes", O);
   }
+  {
+    // Placement strategies change the emitted plan, so unlike the solver
+    // execution strategies above they MUST split the cache.
+    PipelineOptions O;
+    O.Strategy = PlacementStrategy::Lospre;
+    Semantic.emplace_back("strategy=lospre", O);
+  }
+  {
+    PipelineOptions O;
+    O.Strategy = PlacementStrategy::Speculative;
+    Semantic.emplace_back("strategy=speculative", O);
+  }
+  {
+    PipelineOptions O;
+    O.Strategy = PlacementStrategy::Speculative;
+    O.Profile = "gnt-profile-v1\nbranch 1 9 1\n";
+    Semantic.emplace_back("strategy=speculative + profile", O);
+  }
+  {
+    // A profile alone must split too: a later strategy switch served
+    // from a profile-less entry would be stale.
+    PipelineOptions O;
+    O.Profile = "gnt-profile-v1\nbranch 1 9 1\n";
+    Semantic.emplace_back("profile", O);
+  }
   std::vector<std::uint64_t> Keys{DefKey};
   for (const auto &[Name, O] : Semantic) {
     std::uint64_t Key = pipelineCacheKey(kBranchSource, O);

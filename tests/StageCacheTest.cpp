@@ -166,6 +166,12 @@ TEST(StageCacheTest, SolveOptionsKeySeparatesStrategyFromSemantics) {
        [](PipelineOptions &O) { O.Comm.HoistZeroTrip = false; }},
       {"reads", [](PipelineOptions &O) { O.Comm.GenerateReads = false; }},
       {"writes", [](PipelineOptions &O) { O.Comm.GenerateWrites = false; }},
+      {"strategy",
+       [](PipelineOptions &O) { O.Strategy = PlacementStrategy::Lospre; }},
+      {"profile",
+       [](PipelineOptions &O) {
+         O.Profile = "gnt-profile-v1\nbranch 1 9 1\n";
+       }},
   };
   for (const Strategy &S : Semantic) {
     PipelineOptions O = Base;

@@ -57,6 +57,10 @@ void usage() {
       "  --max-seconds X     wall-clock budget (default none)\n"
       "  --minimize-budget N predicate budget per minimization\n"
       "  --stop-on-finding   stop the campaign at the first finding\n"
+      "  --strategies        force the placement-strategy oracle layer\n"
+      "                      on (lospre + profile-fed speculative per\n"
+      "                      input; the default)\n"
+      "  --no-strategies     skip the placement-strategy oracle layer\n"
       "  --distill FILE      shrink a clean program, print to stdout\n"
       "  --minimize FILE     shrink a failing program, print to stdout\n"
       "  --gen BUCKET        print the structure-bucket seed program for\n"
@@ -120,6 +124,10 @@ int main(int argc, char **argv) {
       Opts.MinimizeBudget = static_cast<unsigned>(std::atoi(NextArg(I)));
     } else if (!std::strcmp(A, "--stop-on-finding")) {
       Opts.StopOnFinding = true;
+    } else if (!std::strcmp(A, "--strategies")) {
+      Opts.Oracle.Strategies = true;
+    } else if (!std::strcmp(A, "--no-strategies")) {
+      Opts.Oracle.Strategies = false;
     } else if (!std::strcmp(A, "--distill")) {
       DistillFile = NextArg(I);
     } else if (!std::strcmp(A, "--minimize")) {

@@ -46,6 +46,8 @@ struct Options {
   bool DumpVars = false;
   bool AnalyzeJson = false;
   long long SimulateN = -1;
+  bool EmitProfile = false;
+  std::string ProfileFile;
   /// --analyze arguments as given: built-in names, `all`, or @FILE
   /// references (expanded in main once the files can be read).
   std::vector<std::string> Analyses;
@@ -75,6 +77,12 @@ void usage(std::FILE *To) {
       "                    no free reads)\n"
       "  --no-hoist        disable zero-trip hoisting\n"
       "  --baseline B      use a baseline instead: naive | vectorized | lcm\n"
+      "  --strategy S      placement strategy for the GIVE-N-TAKE engine:\n"
+      "                    balanced (default) | speculative | lospre\n"
+      "  --profile FILE    gnt-profile-v1 execution profile consumed by\n"
+      "                    --strategy speculative (`-` for stdin)\n"
+      "  --emit-profile    with --simulate: print the run's execution\n"
+      "                    profile (gnt-profile-v1) instead of metrics\n"
       "  --solver-shards N solve the item universe in N word-aligned\n"
       "                    shards in parallel (output is byte-identical\n"
       "                    to the serial solve for every N)\n"
@@ -132,7 +140,9 @@ const char *const KnownFlags[] = {
     "--stats",         "--dump-vars",
     "--simulate",      "--atomic",
     "--owner-computes", "--no-hoist",
-    "--baseline",      "--solver-shards",
+    "--baseline",      "--strategy",
+    "--profile",       "--emit-profile",
+    "--solver-shards",
     "--compress-universe", "--compress-universe=off",
     "--incremental",
     "--analyze",       "--analyze-json",
@@ -211,6 +221,27 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
         return false;
       }
       O.Pipe.Baseline = Argv[I];
+    } else if (A == "--strategy") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --strategy needs a value\n");
+        return false;
+      }
+      if (!parsePlacementStrategy(Argv[I], O.Pipe.Strategy)) {
+        std::fprintf(stderr,
+                     "gntc: unknown strategy %s (balanced | speculative | "
+                     "lospre)\n",
+                     Argv[I]);
+        return false;
+      }
+    } else if (A == "--profile") {
+      if (++I == Argc) {
+        std::fprintf(stderr, "gntc: --profile needs a file\n");
+        return false;
+      }
+      O.ProfileFile = Argv[I];
+    } else if (A == "--emit-profile") {
+      O.EmitProfile = true;
+      O.Pipe.Annotate = false;
     } else if (A == "--solver-shards") {
       if (++I == Argc) {
         std::fprintf(stderr, "gntc: --solver-shards needs a value\n");
@@ -305,6 +336,25 @@ int main(int Argc, char **Argv) {
                  O.Pipe.Baseline.c_str());
     return 2;
   }
+  if (O.Pipe.Strategy != PlacementStrategy::Balanced &&
+      !O.Pipe.Baseline.empty()) {
+    std::fprintf(stderr,
+                 "gntc: --strategy %s conflicts with --baseline %s "
+                 "(baselines bypass the GIVE-N-TAKE engine)\n",
+                 placementStrategyName(O.Pipe.Strategy),
+                 O.Pipe.Baseline.c_str());
+    return 2;
+  }
+  if (O.Pipe.Strategy != PlacementStrategy::Balanced &&
+      O.Pipe.Mode == PipelineMode::Pre) {
+    std::fprintf(stderr, "gntc: --strategy applies to communication "
+                         "placement, not --pre\n");
+    return 2;
+  }
+  if (O.EmitProfile && O.SimulateN < 0) {
+    std::fprintf(stderr, "gntc: --emit-profile requires --simulate\n");
+    return 2;
+  }
   if (O.Pipe.Audit && !O.Pipe.Baseline.empty() &&
       O.Pipe.Mode == PipelineMode::Comm) {
     // Baseline plans carry no GNT dataflow runs, so there is nothing for
@@ -328,6 +378,9 @@ int main(int Argc, char **Argv) {
       O.Pipe.ExtraAnalyses.push_back(Entry);
     }
   }
+
+  if (!O.ProfileFile.empty())
+    O.Pipe.Profile = readInput(O.ProfileFile);
 
   std::string Source = readInput(O.File);
   // --incremental compiles through a process-local stage cache; a
@@ -402,6 +455,15 @@ int main(int Argc, char **Argv) {
     return R.ok() ? 0 : 1;
   }
 
+  // A compile that failed past the frontend (strategy/profile errors)
+  // produced no plan to print, count, or simulate.
+  if (!R.ok() && !R.Plan && !R.Pre) {
+    for (const Diagnostic &D : R.Diags.all())
+      if (D.Severity == DiagSeverity::Error)
+        std::fprintf(stderr, "gntc: %s\n", D.render().c_str());
+    return 1;
+  }
+
   if (O.Pipe.Annotate)
     std::fputs(R.Annotated.c_str(), stdout);
 
@@ -439,6 +501,10 @@ int main(int Argc, char **Argv) {
       SimConfig Config;
       Config.Params["n"] = O.SimulateN;
       SimStats S = simulate(*R.Prog, *R.Plan, Config);
+      if (O.EmitProfile) {
+        std::fputs(renderExecProfile(S.Profile).c_str(), stdout);
+        return S.ok() ? 0 : 1;
+      }
       std::printf("! simulate n=%lld: messages=%llu volume=%llu exposed=%.0f "
                   "work=%.0f wasted=%llu redundant=%llu %s\n",
                   O.SimulateN, S.Messages, S.Volume, S.ExposedLatency, S.Work,
