@@ -12,6 +12,7 @@
 #include "support/Hashing.h"
 #include "support/ItemClasses.h"
 #include "support/Json.h"
+#include "support/SimdKernels.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
 
@@ -220,7 +221,9 @@ unsigned sweepWindow(const CompiledAnalysis &C,
   if (Lo >= Hi)
     return 0;
   const bool AllMeet = C.Meet == Confluence::All;
-  std::vector<Word> Tmp(Hi - Lo);
+  const unsigned W = Hi - Lo;
+  const SolverKernels &SK = solverKernels();
+  std::vector<Word> Tmp(W);
   unsigned Sweeps = 0;
   bool Changed = true;
   while (Changed) {
@@ -230,31 +233,21 @@ unsigned sweepWindow(const CompiledAnalysis &C,
       const std::vector<NodeId> &P = Preds[Node];
       if (P.empty())
         continue; // Pinned to the boundary value.
-      const Word *First = Out.row(P[0]);
-      for (unsigned W = Lo; W != Hi; ++W)
-        Tmp[W - Lo] = First[W];
+      SK.RowCopy(Tmp.data(), Out.row(P[0]) + Lo, W);
       for (size_t K = 1; K != P.size(); ++K) {
-        const Word *PR = Out.row(P[K]);
+        const Word *PR = Out.row(P[K]) + Lo;
         if (AllMeet)
-          for (unsigned W = Lo; W != Hi; ++W)
-            Tmp[W - Lo] &= PR[W];
+          SK.RowAnd(Tmp.data(), PR, W);
         else
-          for (unsigned W = Lo; W != Hi; ++W)
-            Tmp[W - Lo] |= PR[W];
+          SK.RowOr(Tmp.data(), PR, W);
       }
-      Word *InRow = In.row(Node);
-      for (unsigned W = Lo; W != Hi; ++W)
-        InRow[W] = Tmp[W - Lo];
-      const Word *GenRow = GenM.row(Node);
-      const Word *KillRow = KillM.row(Node);
-      Word *OutRow = Out.row(Node);
-      for (unsigned W = Lo; W != Hi; ++W) {
-        Word NV = (Tmp[W - Lo] & ~KillRow[W]) | GenRow[W];
-        if (NV != OutRow[W]) {
-          OutRow[W] = NV;
-          Changed = true;
-        }
-      }
+      SK.RowCopy(In.row(Node) + Lo, Tmp.data(), W);
+      // The kernel stores the (possibly identical) value back
+      // unconditionally and reports the XOR of old and new; the sweep
+      // only needs to know whether *anything* moved.
+      Word Diff = SK.FuseTransfer(W, Out.row(Node) + Lo, Tmp.data(),
+                                  GenM.row(Node) + Lo, KillM.row(Node) + Lo);
+      Changed |= Diff != 0;
     }
   }
   return Sweeps;
@@ -285,16 +278,13 @@ ArenaSpecResult solveArena(const CompiledAnalysis &C,
       R.Out.setRow(Node);
     }
   const unsigned WPR = R.In.wordsPerRow();
+  const SolverKernels &SK = solverKernels();
   for (NodeId Node = 0; Node != N; ++Node) {
     if (!Preds[Node].empty())
       continue;
     R.In.assignRow(Node, C.Boundary);
-    const Word *B = R.In.row(Node);
-    const Word *GenRow = GenM.row(Node);
-    const Word *KillRow = KillM.row(Node);
-    Word *OutRow = R.Out.row(Node);
-    for (unsigned W = 0; W != WPR; ++W)
-      OutRow[W] = (B[W] & ~KillRow[W]) | GenRow[W];
+    (void)SK.FuseTransfer(WPR, R.Out.row(Node), R.In.row(Node),
+                          GenM.row(Node), KillM.row(Node));
   }
 
   const unsigned S =

@@ -65,8 +65,13 @@
 
 #include "support/DataflowMatrix.h"
 #include "support/ItemClasses.h"
+#include "support/ShardSchedule.h"
+#include "support/SimdKernels.h"
 #include "support/Support.h"
 #include "support/ThreadPool.h"
+
+#include <cstdlib>
+#include <string_view>
 
 using namespace gnt;
 
@@ -416,197 +421,45 @@ using RowList = std::vector<const Word *>;
 //===----------------------------------------------------------------------===//
 // Row sweeps
 //
-// Every primitive streams whole rows so the compiler vectorizes them.
-// The __restrict claims are justified by construction: a destination is
-// always the row of one (field, node) pair, and every source is a row
-// of a different field or a different node (the normalized IFG has no
-// self edges), or init storage outside the arena. Several *sources*
-// may alias each other (absent operands all point at one shared zero
-// row), which restrict permits as long as nothing writes through them.
+// The row primitives and the fused sweeps live behind the
+// support/SimdKernels registry: scalar reference loops plus
+// hand-written AVX2/AVX-512/NEON variants, selected once per process
+// (CPUID or GNT_KERNEL). The commented equation bodies (Eq. 1-15 word
+// logic, operand roles, the HoistMask/NoHoist conventions, the Eq. 11
+// soundness refinement) are documented on the scalar variant in
+// SimdKernels.cpp. Aliasing contract carried over from the inline era:
+// a destination is always the row of one (field, node) pair, every
+// source is a different row or init storage, and several *sources* may
+// alias each other (absent operands all point at one shared zero row).
 //===----------------------------------------------------------------------===//
 
 inline void rowZero(Word *D, unsigned W) {
   std::memset(D, 0, W * sizeof(Word));
 }
 
-inline void rowCopy(Word *__restrict D, const Word *__restrict A,
-                    unsigned W) {
-  std::memcpy(D, A, W * sizeof(Word));
-}
-
-inline void rowOr(Word *__restrict D, const Word *__restrict A, unsigned W) {
-  for (unsigned K = 0; K != W; ++K)
-    D[K] |= A[K];
-}
-
-inline void rowAnd(Word *__restrict D, const Word *__restrict A, unsigned W) {
-  for (unsigned K = 0; K != W; ++K)
-    D[K] &= A[K];
-}
-
-/// D |= A - B.
-inline void rowOrAndNot(Word *__restrict D, const Word *__restrict A,
-                        const Word *__restrict B, unsigned W) {
-  for (unsigned K = 0; K != W; ++K)
-    D[K] |= A[K] & ~B[K];
-}
-
 /// D = union of the rows in \p L (bottom when empty).
-inline void gatherUnion(Word *D, const RowList &L, unsigned W) {
+inline void gatherUnion(const SolverKernels &SK, Word *D, const RowList &L,
+                        unsigned W) {
   if (L.empty()) {
     rowZero(D, W);
     return;
   }
-  rowCopy(D, L[0], W);
+  SK.RowCopy(D, L[0], W);
   for (std::size_t I = 1, E = L.size(); I != E; ++I)
-    rowOr(D, L[I], W);
+    SK.RowOr(D, L[I], W);
 }
 
 /// D = intersection of the rows in \p L (bottom when empty, as Section 4
 /// specifies for empty successor sets).
-inline void gatherMeet(Word *D, const RowList &L, unsigned W) {
+inline void gatherMeet(const SolverKernels &SK, Word *D, const RowList &L,
+                       unsigned W) {
   if (L.empty()) {
     rowZero(D, W);
     return;
   }
-  rowCopy(D, L[0], W);
+  SK.RowCopy(D, L[0], W);
   for (std::size_t I = 1, E = L.size(); I != E; ++I)
-    rowAnd(D, L[I], W);
-}
-
-/// Finishes Eq. 9 in place: D = (D u Give u Take) - Steal, where D
-/// arrives holding the predecessor meet.
-inline void fuseGiveLoc(unsigned W, Word *__restrict D,
-                        const Word *__restrict Give,
-                        const Word *__restrict Take,
-                        const Word *__restrict Steal) {
-  for (unsigned K = 0; K != W; ++K)
-    D[K] = (D[K] | Give[K] | Take[K]) & ~Steal[K];
-}
-
-/// The fused S1 step (Eq. 1-3 and 5-8; Eq. 4 is gathered into TakenOut
-/// beforehand). All operands are distinct rows; absent ones point at
-/// the shared zero row, and \p HoistMask is all-ones unless the node is
-/// a NoHoist header, keeping the loop branch-free.
-inline void fuseS1(unsigned W, const Word *__restrict StealI,
-                   const Word *__restrict GiveI,
-                   const Word *__restrict TakeI,
-                   const Word *__restrict SumSteal,
-                   const Word *__restrict SumGive,
-                   const Word *__restrict EntryBlock,
-                   const Word *__restrict EntryTaken,
-                   const Word *__restrict EntryTake,
-                   const Word *__restrict FwdBlock,
-                   const Word *__restrict EfTake, Word HoistMask,
-                   const Word *__restrict TakenOut, Word *__restrict RSteal,
-                   Word *__restrict RGive, Word *__restrict RBlock,
-                   Word *__restrict RTake, Word *__restrict RTakenIn,
-                   Word *__restrict RBlockLoc, Word *__restrict RTakeLoc) {
-  for (unsigned K = 0; K != W; ++K) {
-    // Eq. 1 / Eq. 2 (header summaries are zero rows on non-headers).
-    Word Steal = StealI[K] | SumSteal[K];
-    Word Give = GiveI[K] | SumGive[K];
-
-    // Eq. 3: BLOCK(n) = STEAL(n) u GIVE(n)
-    //   u union_{s in SUCCS^E} BLOCK_loc(s)
-    Word Block = Steal | Give | EntryBlock[K];
-
-    // Eq. 4 was gathered: TAKEN_out(n) = meet_{s in SUCCS^FJS} TAKEN_in(s)
-    Word TOut = TakenOut[K];
-
-    // Eq. 5: TAKE(n) = TAKE_init(n)
-    //   u (union_{s in SUCCS^E} TAKEN_in(s) - STEAL(n))
-    //   u ((TAKEN_out(n) n union_{s in SUCCS^E} TAKE_loc(s)) - BLOCK(n))
-    // For NoHoist headers the loop-body contributions are ignored
-    // (Section 5.3's per-header alternative to STEAL_init poisoning):
-    // EntryTaken/EntryTake are zero rows then.
-    Word Take =
-        TakeI[K] | (EntryTaken[K] & ~Steal) | (EntryTake[K] & TOut & ~Block);
-
-    // Eq. 6: TAKEN_in(n) = TAKE(n) u (TAKEN_out(n) - BLOCK(n)); NoHoist
-    // headers are analysis barriers in this direction too (mask zero).
-    Word TakenIn = Take | (TOut & ~Block & HoistMask);
-
-    // Eq. 7: BLOCK_loc(n) =
-    //   (BLOCK(n) u union_{s in SUCCS^F} BLOCK_loc(s)) - TAKE(n)
-    Word BlockLoc = (Block | FwdBlock[K]) & ~Take;
-
-    // Eq. 8: TAKE_loc(n) = TAKE(n)
-    //   u (union_{s in SUCCS^EF} TAKE_loc(s) - BLOCK(n))
-    Word TakeLoc = (EfTake[K] & ~Block) | Take;
-
-    RSteal[K] = Steal;
-    RGive[K] = Give;
-    RBlock[K] = Block;
-    RTake[K] = Take;
-    RTakenIn[K] = TakenIn;
-    RBlockLoc[K] = BlockLoc;
-    RTakeLoc[K] = TakeLoc;
-  }
-}
-
-/// The fused S3 step (Eq. 11-13) for one node and urgency. \p RGivenIn
-/// arrives holding the predecessor meet; \p PredUnion holds the
-/// predecessor union; header rows are zero rows when there is no
-/// (hoistable) header.
-inline void fuseS3(unsigned W, Word *__restrict RGivenIn,
-                   const Word *__restrict PredUnion,
-                   const Word *__restrict HdrGiven,
-                   const Word *__restrict HdrSteal,
-                   const Word *__restrict NTakenIn,
-                   const Word *__restrict NUrgent,
-                   const Word *__restrict NGive,
-                   const Word *__restrict NSteal, Word *__restrict RGiven,
-                   Word *__restrict RGivenOut) {
-  for (unsigned K = 0; K != W; ++K) {
-    // Eq. 11: GIVEN_in(n) = GIVEN(HEADER(n))
-    //   u meet_{p in PREDS^FJ} GIVEN_out(p)
-    //   u (TAKEN_in(n) n union_{q in PREDS^FJ} GIVEN_out(q))
-    //
-    // Soundness refinement over the paper's literal equation: the
-    // in-flow from the header subtracts the loop's STEAL summary. An
-    // item stolen somewhere in the body is not guaranteed at the body
-    // top on iterations after the first, so consumers inside must
-    // re-produce it (the literal GIVEN(HEADER) term would let a
-    // pre-loop production cover every iteration).
-    // NoHoist headers are fully opaque: availability does not flow into
-    // the body at all, so in-loop consumers get per-iteration
-    // production pairs in both solutions (keeping C1 balance).
-    Word In = RGivenIn[K] | (HdrGiven[K] & ~HdrSteal[K]) |
-              (PredUnion[K] & NTakenIn[K]);
-
-    // Eq. 12: GIVEN(n) = GIVEN_in(n) u (EAGER ? TAKEN_in(n) : TAKE(n))
-    Word Given = In | NUrgent[K];
-
-    // Eq. 13: GIVEN_out(n) = (GIVE(n) u GIVEN(n)) - STEAL(n)
-    RGivenIn[K] = In;
-    RGiven[K] = Given;
-    RGivenOut[K] = (NGive[K] | Given) & ~NSteal[K];
-  }
-}
-
-/// The fused S4 step (Eq. 14-15). \p RResOut arrives holding the
-/// successor union; returns the OR over the final RES_out words so the
-/// caller can assert the no-critical-edge property.
-inline Word fuseS4(unsigned W, bool FlipEq14, const Word *__restrict RGiven,
-                   const Word *__restrict RGivenIn,
-                   const Word *__restrict RGivenOut, Word *__restrict RResIn,
-                   Word *__restrict RResOut) {
-  Word AnyOut = 0;
-  for (unsigned K = 0; K != W; ++K) {
-    // Eq. 14: RES_in(n) = GIVEN(n) - GIVEN_in(n). FlipEq14 is the
-    // detail::InjectFusedSweepBug fault (GIVEN n GIVEN_in), false on
-    // every production path.
-    RResIn[K] = FlipEq14 ? (RGiven[K] & RGivenIn[K])
-                         : (RGiven[K] & ~RGivenIn[K]);
-
-    // Eq. 15: RES_out(n) = union_{s in SUCCS^FJ} GIVEN_in(s)
-    //   - GIVEN_out(n)
-    Word Out = RResOut[K] & ~RGivenOut[K];
-    RResOut[K] = Out;
-    AnyOut |= Out;
-  }
-  return AnyOut;
+    SK.RowAnd(D, L[I], W);
 }
 
 /// The fused evaluator over the word window [\p WordOff, \p WordOff +
@@ -630,6 +483,7 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
   if (W == 0)
     return; // Empty window: nothing to compute.
   const std::vector<NodeId> &Pre = Ifg.preorder();
+  const SolverKernels &SK = solverKernels();
   const bool FlipEq14 =
       detail::InjectFusedSweepBug.load(std::memory_order_relaxed);
   // Step selectors for the masked re-solve; a cold solve runs everything.
@@ -775,11 +629,11 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       // (S preds are jumped-out intervals left mid-flight: their
       // resupplies cannot be subtracted.)
       Word *CStealLoc = row(FStealLoc, C);
-      rowCopy(CStealLoc, row(FSteal, C), W);
+      SK.RowCopy(CStealLoc, row(FSteal, C), W);
       for (std::size_t I = 0, IE = FjPredStealLoc.size(); I != IE; ++I)
-        rowOrAndNot(CStealLoc, FjPredStealLoc[I], FjPredGiveLoc[I], W);
+        SK.RowOrAndNot(CStealLoc, FjPredStealLoc[I], FjPredGiveLoc[I], W);
       for (const Word *S : SynPredStealLoc)
-        rowOr(CStealLoc, S, W);
+        SK.RowOr(CStealLoc, S, W);
       if (Refine)
         noteOutput(FStealLoc, C);
 
@@ -787,8 +641,9 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       //   (GIVE(c) u TAKE(c) u meet_{p in PREDS^FJ} GIVE_loc(p))
       //   - STEAL(c)
       Word *CGiveLoc = row(FGiveLoc, C);
-      gatherMeet(CGiveLoc, FjPredGiveLoc, W);
-      fuseGiveLoc(W, CGiveLoc, row(FGive, C), row(FTake, C), row(FSteal, C));
+      gatherMeet(SK, CGiveLoc, FjPredGiveLoc, W);
+      SK.FuseGiveLoc(W, CGiveLoc, row(FGive, C), row(FTake, C),
+                     row(FSteal, C));
       if (Refine)
         noteOutput(FGiveLoc, C);
     }
@@ -861,26 +716,26 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
     // contributions (Section 5.3's per-header alternative to STEAL_init
     // poisoning), expressed as zero rows so fuseS1 stays branch-free.
     Word *RTakenOut = row(FTakenOut, Node);
-    gatherMeet(RTakenOut, FjsTakenIn, W);
-    gatherUnion(SEntryBlock, EntryBlockLoc, W);
-    gatherUnion(SFwdBlock, FwdBlockLoc, W);
-    gatherUnion(SEfTake, EfTakeLoc, W);
+    gatherMeet(SK, RTakenOut, FjsTakenIn, W);
+    gatherUnion(SK, SEntryBlock, EntryBlockLoc, W);
+    gatherUnion(SK, SFwdBlock, FwdBlockLoc, W);
+    gatherUnion(SK, SEfTake, EfTakeLoc, W);
     const Word *EntryTaken = ZeroRow;
     const Word *EntryTake = ZeroRow;
     if (Hoistable) {
-      gatherUnion(SEntryTaken, EntryTakenIn, W);
-      gatherUnion(SEntryTake, EntryTakeLoc, W);
+      gatherUnion(SK, SEntryTaken, EntryTakenIn, W);
+      gatherUnion(SK, SEntryTake, EntryTakeLoc, W);
       EntryTaken = SEntryTaken;
       EntryTake = SEntryTake;
     }
 
-    fuseS1(W, P.StealInit[Node].words() + WordOff,
-           P.GiveInit[Node].words() + WordOff,
-           P.TakeInit[Node].words() + WordOff, SumSteal, SumGive, SEntryBlock,
-           EntryTaken, EntryTake, SFwdBlock, SEfTake,
-           Hoistable ? ~Word(0) : Word(0), RTakenOut, row(FSteal, Node),
-           row(FGive, Node), row(FBlock, Node), row(FTake, Node),
-           row(FTakenIn, Node), row(FBlockLoc, Node), row(FTakeLoc, Node));
+    SK.FuseS1(W, P.StealInit[Node].words() + WordOff,
+              P.GiveInit[Node].words() + WordOff,
+              P.TakeInit[Node].words() + WordOff, SumSteal, SumGive,
+              SEntryBlock, EntryTaken, EntryTake, SFwdBlock, SEfTake,
+              Hoistable ? ~Word(0) : Word(0), RTakenOut, row(FSteal, Node),
+              row(FGive, Node), row(FBlock, Node), row(FTake, Node),
+              row(FTakenIn, Node), row(FBlockLoc, Node), row(FTakeLoc, Node));
     if (Refine)
       for (ArenaField F : {FTakenOut, FSteal, FGive, FBlock, FTake, FTakenIn,
                            FBlockLoc, FTakeLoc})
@@ -942,11 +797,11 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
       // Predecessor meet lands straight in the GIVEN_in row, the union
       // in scratch; fuseS3 finishes Eq. 11-13 in one sweep.
       Word *RGivenIn = row(GivenInF, Node);
-      gatherMeet(RGivenIn, FjPredGivenOut, W);
-      gatherUnion(SPredUnion, FjPredGivenOut, W);
-      fuseS3(W, RGivenIn, SPredUnion, HdrGiven, HdrSteal, NTakenIn,
-             Eager ? NTakenIn : NTake, NGive, NSteal, row(GivenF, Node),
-             row(GivenOutF, Node));
+      gatherMeet(SK, RGivenIn, FjPredGivenOut, W);
+      gatherUnion(SK, SPredUnion, FjPredGivenOut, W);
+      SK.FuseS3(W, RGivenIn, SPredUnion, HdrGiven, HdrSteal, NTakenIn,
+                Eager ? NTakenIn : NTake, NGive, NSteal, row(GivenF, Node),
+                row(GivenOutF, Node));
       if (Refine)
         for (ArenaField F : {GivenInF, GivenF, GivenOutF})
           noteOutput(F, Node);
@@ -994,9 +849,9 @@ void solveIntoArena(const IntervalFlowGraph &Ifg, const GntProblem &P,
 
       // Eq. 15's successor union lands straight in the RES_out row;
       // fuseS4 finishes Eq. 14-15.
-      gatherUnion(RResOut, FjSuccGivenIn, W);
-      Word AnyOut =
-          fuseS4(W, FlipEq14, RGiven, RGivenIn, RGivenOut, RResIn, RResOut);
+      gatherUnion(SK, RResOut, FjSuccGivenIn, W);
+      Word AnyOut = SK.FuseS4(W, FlipEq14, RGiven, RGivenIn, RGivenOut,
+                              RResIn, RResOut);
       (void)AnyOut;
 
       // The paper's no-critical-edge argument (Section 4.5) implies exit
@@ -1030,6 +885,13 @@ void solveRange(const IntervalFlowGraph &Ifg, const GntProblem &P,
 /// the arena alive through its Arena handle. The forEachGntField
 /// enumeration order matches the ArenaField layout.
 GntResult exportArena(std::shared_ptr<DataflowMatrix> M, unsigned NumNodes) {
+  // Bottom-row contract: every row an Uninit writer produced must honor
+  // the tail-word invariant before it is borrowed into BitVectors. The
+  // Debug 0xA5 poison makes a never-written row trip this whenever the
+  // universe is not a word multiple.
+  assert(M->rowsExportable() &&
+         "arena row exported with bits past the universe "
+         "(Uninit writer broke the bottom-row contract)");
   GntResult R;
   const unsigned Bits = M->bits();
   unsigned Field = 0;
@@ -1079,6 +941,18 @@ GntResult gnt::solveGiveNTake(const IntervalFlowGraph &Ifg,
 // Item-sharded solve
 //===----------------------------------------------------------------------===//
 
+GntShardPolicy gnt::defaultShardPolicy() {
+  // Read the environment once per process: the policy must be stable
+  // for the lifetime of a service, not flip between requests.
+  static const GntShardPolicy Policy = [] {
+    GntShardPolicy P;
+    if (const char *Mode = std::getenv("GNT_SHARD_MODE"))
+      P.WorkStealing = std::string_view(Mode) == "steal";
+    return P;
+  }();
+  return Policy;
+}
+
 GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
                                      const GntProblem &P, unsigned Shards,
                                      ThreadPool &Pool) {
@@ -1112,16 +986,47 @@ GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
 }
 
 GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
-                                     const GntProblem &P, unsigned Shards) {
+                                     const GntProblem &P, unsigned Shards,
+                                     const GntShardPolicy &Policy) {
+  const unsigned N = Ifg.size();
   const unsigned TotalWords = (P.UniverseSize + BitVector::WordBits - 1) /
                               BitVector::WordBits;
   if (Shards <= 1 || TotalWords <= 1)
     return solveGiveNTake(Ifg, P);
+  Shards = std::min(Shards, TotalWords);
+  assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
+         P.StealInit.size() == N && "problem not sized to the graph");
+
   unsigned Hardware = std::thread::hardware_concurrency();
   if (Hardware == 0)
     Hardware = 1;
-  ThreadPool Pool(std::min({Shards, TotalWords, Hardware}));
-  return solveGiveNTakeSharded(Ifg, P, Shards, Pool);
+  const unsigned Workers = std::min({Shards, TotalWords, Hardware});
+
+  // Static mode splits the words into exactly Shards windows — the
+  // historical partition, one chunk per shard. Stealing mode oversplits
+  // (Oversplit chunks per shard) so that when word cost is skewed —
+  // e.g. a compressed problem whose hot classes cluster in a few words
+  // — idle workers can take chunks from the loaded ones. Either way the
+  // chunks are disjoint word windows of one shared arena, and every
+  // word is computed by the same sweep over the same inputs regardless
+  // of which worker runs it or when: any schedule is byte-identical to
+  // the serial solve.
+  const unsigned Parts =
+      Policy.WorkStealing ? Shards * std::max(Policy.Oversplit, 1u) : Shards;
+  const std::vector<WorkChunk> Chunks = splitRange(TotalWords, Parts);
+
+  auto M = std::make_shared<DataflowMatrix>(NumArenaFields * N,
+                                            P.UniverseSize,
+                                            DataflowMatrix::Uninit);
+  runChunks(Chunks, Workers, Policy.NumaPinning, [&](WorkChunk C) {
+    solveRange(Ifg, P, *M, C.Begin, C.End);
+  });
+  return exportArena(std::move(M), N);
+}
+
+GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                     const GntProblem &P, unsigned Shards) {
+  return solveGiveNTakeSharded(Ifg, P, Shards, defaultShardPolicy());
 }
 
 //===----------------------------------------------------------------------===//
@@ -1129,7 +1034,9 @@ GntResult gnt::solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
 //===----------------------------------------------------------------------===//
 
 GntResult gnt::solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
-                                        const GntProblem &P, unsigned Shards) {
+                                        const GntProblem &P, unsigned Shards,
+                                        const GntShardPolicy *PolicyPtr) {
+  const GntShardPolicy Policy = PolicyPtr ? *PolicyPtr : defaultShardPolicy();
   const unsigned N = Ifg.size();
   assert(P.TakeInit.size() == N && P.GiveInit.size() == N &&
          P.StealInit.size() == N && "problem not sized to the graph");
@@ -1157,7 +1064,7 @@ GntResult gnt::solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
   const unsigned DstWords = (P.UniverseSize + BitVector::WordBits - 1) /
                             BitVector::WordBits;
   auto Fallback = [&] {
-    GntResult R = Shards > 1 ? solveGiveNTakeSharded(Ifg, P, Shards)
+    GntResult R = Shards > 1 ? solveGiveNTakeSharded(Ifg, P, Shards, Policy)
                              : solveGiveNTake(Ifg, P);
     R.Compression = Stats;
     return R;
@@ -1203,7 +1110,7 @@ GntResult gnt::solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
 
   // Solve the narrow problem with the existing arena/sharded machinery;
   // its (small) arena is only an intermediate here.
-  GntResult Narrow = Shards > 1 ? solveGiveNTakeSharded(Ifg, CP, Shards)
+  GntResult Narrow = Shards > 1 ? solveGiveNTakeSharded(Ifg, CP, Shards, Policy)
                                 : solveGiveNTake(Ifg, CP);
   const auto *MC = static_cast<const DataflowMatrix *>(Narrow.Arena.get());
   assert(MC && "arena solver always exports an arena");
@@ -1222,12 +1129,35 @@ GntResult gnt::solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
   auto ME = std::make_shared<DataflowMatrix>(NumArenaFields * N,
                                              P.UniverseSize,
                                              DataflowMatrix::Uninit);
-  if (!WordProg.empty()) {
-    for (unsigned Row = 0, E = NumArenaFields * N; Row != E; ++Row)
-      expandRowWords(ME->row(Row), DstWords, MC->row(Row), SrcWords, WordProg);
+  const unsigned NumRows = NumArenaFields * N;
+  const SolverKernels &SK = solverKernels();
+  auto ExpandRows = [&](unsigned Lo, unsigned Hi) {
+    if (!WordProg.empty()) {
+      for (unsigned Row = Lo; Row != Hi; ++Row)
+        SK.ExpandRowWords(ME->row(Row), DstWords, MC->row(Row), SrcWords,
+                          WordProg.data(), WordProg.size());
+    } else {
+      for (unsigned Row = Lo; Row != Hi; ++Row)
+        expandRow(ME->row(Row), DstWords, MC->row(Row), SrcWords, Plan);
+    }
+  };
+  // Expansion cost is *skewed* by construction — an all-zero source row
+  // degrades to one memset while a dense row pays the full segment
+  // program — so this is where work stealing (oversplit row chunks,
+  // idle workers raiding loaded deques) earns its keep over static
+  // windows. Rows are disjoint, so any schedule is byte-identical.
+  if (Shards > 1 && NumRows > 1) {
+    unsigned Hardware = std::thread::hardware_concurrency();
+    if (Hardware == 0)
+      Hardware = 1;
+    const unsigned Workers = std::min({Shards, NumRows, Hardware});
+    const unsigned Parts = Policy.WorkStealing
+                               ? Shards * std::max(Policy.Oversplit, 1u)
+                               : Shards;
+    runChunks(splitRange(NumRows, Parts), Workers, Policy.NumaPinning,
+              [&](WorkChunk C) { ExpandRows(C.Begin, C.End); });
   } else {
-    for (unsigned Row = 0, E = NumArenaFields * N; Row != E; ++Row)
-      expandRow(ME->row(Row), DstWords, MC->row(Row), SrcWords, Plan);
+    ExpandRows(0, NumRows);
   }
 
   GntResult R = exportArena(std::move(ME), N);

@@ -200,6 +200,29 @@ GntResult solveGiveNTakeClassic(const IntervalFlowGraph &Ifg,
 
 class ThreadPool;
 
+/// Scheduling policy for the sharded solve and the compressed-solve
+/// expansion. Results are byte-identical under every policy (the word
+/// windows are disjoint regardless of who executes them); this only
+/// chooses how windows map to workers.
+struct GntShardPolicy {
+  /// Oversplit the range and let workers steal: wins when window costs
+  /// are skewed (compressed expansion, non-uniform ItemClasses) or a
+  /// worker is slowed by a remote NUMA node. Off = one static window
+  /// per shard, the historical behavior.
+  bool WorkStealing = false;
+  /// Chunks per worker when stealing (clamped to the range).
+  unsigned Oversplit = 4;
+  /// Pin workers round-robin across NUMA nodes so first-touch places
+  /// each window on the node of the worker that sweeps it. No-op on
+  /// single-node machines.
+  bool NumaPinning = true;
+};
+
+/// The process-default policy: GNT_SHARD_MODE=steal turns work
+/// stealing on, anything else (or unset) keeps static windows. Read
+/// once per process.
+GntShardPolicy defaultShardPolicy();
+
 /// Solves \p P with the item universe partitioned into \p Shards
 /// word-aligned chunks solved independently (on \p Pool when given) and
 /// stitched back together. Equations 1-15 are item-wise independent —
@@ -213,7 +236,14 @@ GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
                                 const GntProblem &P, unsigned Shards,
                                 ThreadPool &Pool);
 
-/// Convenience overload owning a pool sized to min(Shards, hardware).
+/// Policy-driven overload: spawns its own workers (min(Shards,
+/// hardware)) and schedules the word windows per \p Policy — static
+/// windows, or an oversplit range with work stealing and NUMA pinning.
+GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
+                                const GntProblem &P, unsigned Shards,
+                                const GntShardPolicy &Policy);
+
+/// Convenience overload using defaultShardPolicy().
 GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
                                 const GntProblem &P, unsigned Shards);
 
@@ -234,9 +264,14 @@ GntResult solveGiveNTakeSharded(const IntervalFlowGraph &Ifg,
 /// outcome, bounding the overhead on incompressible problems to a
 /// fraction of the O(set bits) partition sweep. \p Shards applies to whichever solve runs (compressed or
 /// fallback). Compression accounting is reported in
-/// GntResult::Compression either way.
+/// GntResult::Compression either way. \p Policy (defaultShardPolicy()
+/// when null) schedules both the narrow solve and the row expansion;
+/// expansion is where work stealing earns its keep, because all-zero
+/// rows degrade to a memset while segment-dense rows pay the full
+/// expand program.
 GntResult solveGiveNTakeCompressed(const IntervalFlowGraph &Ifg,
-                                   const GntProblem &P, unsigned Shards = 0);
+                                   const GntProblem &P, unsigned Shards = 0,
+                                   const GntShardPolicy *Policy = nullptr);
 
 /// A complete, oriented GIVE-N-TAKE run.
 struct GntRun {

@@ -333,7 +333,8 @@ BatchServer::BatchServer(ServiceConfig Config)
     : Config(Config), Cache(Config.CacheCapacity) {
   if (!this->Config.DiskCachePath.empty()) {
     auto D = std::make_unique<DiskCache>(this->Config.DiskCachePath,
-                                         this->Config.DiskCacheCapacity);
+                                         this->Config.DiskCacheCapacity,
+                                         this->Config.DiskCacheMemoBytes);
     if (D->open(DiskError))
       Disk = std::move(D);
     // On failure the server degrades to memory-only; DiskError tells

@@ -100,6 +100,11 @@ struct ServiceConfig {
   std::string DiskCachePath;
   /// Disk cache capacity in entries.
   unsigned DiskCacheCapacity = 4096;
+  /// Byte budget for persisted solve memos (`.gm` entries), evicted
+  /// oldest-first when exceeded; 0 means uncapped. Memos are whole
+  /// serialized solver arenas, so they are budgeted in bytes rather
+  /// than sharing the result entry count.
+  std::uint64_t DiskCacheMemoBytes = 64ull << 20;
   /// Cooperative cancellation: when set and it becomes true, batch jobs
   /// that have not started yet return a structured `cancelled` payload
   /// instead of compiling, so a signalled run still drains, renders

@@ -23,7 +23,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::size_t HeaderBytes = 40;
-constexpr const char *EntrySuffix = ".gc";
+constexpr const char *ResultSuffix = ".gc";
+constexpr const char *MemoSuffix = ".gm";
 
 std::uint64_t hashBytes(const unsigned char *P, std::size_t N) {
   std::uint64_t H = FnvOffsetBasis;
@@ -54,11 +55,16 @@ bool parseKeyStem(const std::string &Stem, std::uint64_t &Key) {
 
 } // namespace
 
-DiskCache::DiskCache(std::string Dir, unsigned MaxEntries)
-    : DirName(Dir), Dir(DirName), MaxEntries(MaxEntries ? MaxEntries : 1) {}
+DiskCache::DiskCache(std::string Dir, unsigned MaxEntries,
+                     std::uint64_t MaxMemoBytes)
+    : DirName(Dir), Dir(DirName), MaxEntries(MaxEntries ? MaxEntries : 1),
+      MaxMemoBytes(MaxMemoBytes) {
+  Results.Suffix = ResultSuffix;
+  Memos.Suffix = MemoSuffix;
+}
 
-fs::path DiskCache::entryPath(std::uint64_t Key) const {
-  return Dir / (hashToHex(Key) + EntrySuffix);
+fs::path DiskCache::entryPath(const Bucket &B, std::uint64_t Key) const {
+  return Dir / (hashToHex(Key) + B.Suffix);
 }
 
 bool DiskCache::open(std::string &Error) {
@@ -71,18 +77,36 @@ bool DiskCache::open(std::string &Error) {
     return false;
   }
   // Oldest-first scan so restart preserves the eviction order the
-  // previous process would have used.
-  std::vector<std::pair<fs::file_time_type, std::uint64_t>> Found;
+  // previous process would have used. Both categories come out of the
+  // same directory pass; memo entries also record their file size,
+  // which is what the byte budget below is charged in.
+  struct FoundEntry {
+    fs::file_time_type Time;
+    std::uint64_t Key;
+    Bucket *B;
+    std::uint64_t Bytes;
+  };
+  std::vector<FoundEntry> Found;
   for (const fs::directory_entry &E : fs::directory_iterator(Dir, Ec)) {
     if (Ec)
       break;
-    if (!E.is_regular_file() || E.path().extension() != EntrySuffix)
+    if (!E.is_regular_file())
+      continue;
+    Bucket *B = nullptr;
+    if (E.path().extension() == ResultSuffix)
+      B = &Results;
+    else if (E.path().extension() == MemoSuffix)
+      B = &Memos;
+    else
       continue;
     std::uint64_t Key;
     if (!parseKeyStem(E.path().stem().string(), Key))
       continue;
     std::error_code TimeEc;
-    Found.emplace_back(E.last_write_time(TimeEc), Key);
+    std::uint64_t Bytes = E.file_size(TimeEc);
+    if (TimeEc)
+      Bytes = 0;
+    Found.push_back({E.last_write_time(TimeEc), Key, B, Bytes});
   }
   if (Ec) {
     Error = "cannot scan cache directory `" + DirName +
@@ -90,32 +114,46 @@ bool DiskCache::open(std::string &Error) {
     return false;
   }
   std::sort(Found.begin(), Found.end(),
-            [](const auto &A, const auto &B) { return A.first < B.first; });
-  for (const auto &[Time, Key] : Found) {
-    Order.push_back(Key);
-    Index[Key] = std::prev(Order.end());
+            [](const auto &A, const auto &B) { return A.Time < B.Time; });
+  for (const FoundEntry &F : Found) {
+    F.B->Order.push_back(F.Key);
+    F.B->Index[F.Key] = {std::prev(F.B->Order.end()), F.Bytes};
+    F.B->TotalBytes += F.Bytes;
   }
-  while (Index.size() > MaxEntries) {
-    Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
-    removeLocked(Order.front());
-  }
+  evictLocked();
   return true;
 }
 
-void DiskCache::removeLocked(std::uint64_t Key) {
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
-    Order.erase(It->second);
-    Index.erase(It);
+void DiskCache::removeLocked(Bucket &B, std::uint64_t Key) {
+  auto It = B.Index.find(Key);
+  if (It != B.Index.end()) {
+    B.Order.erase(It->second.Pos);
+    B.TotalBytes -= It->second.Bytes;
+    B.Index.erase(It);
   }
   std::error_code Ec;
-  fs::remove(entryPath(Key), Ec);
+  fs::remove(entryPath(B, Key), Ec);
 }
 
-bool DiskCache::lookup(std::uint64_t Key, std::string &Payload) {
+void DiskCache::evictLocked() {
+  while (Results.Index.size() > MaxEntries) {
+    Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
+    removeLocked(Results, Results.Order.front());
+  }
+  // The memo budget is bytes, not count: one oversized memo can push
+  // out many small ones, and an over-budget *single* memo simply gets
+  // evicted on the next insert (it still served its first use).
+  if (MaxMemoBytes)
+    while (Memos.TotalBytes > MaxMemoBytes && !Memos.Order.empty()) {
+      Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
+      removeLocked(Memos, Memos.Order.front());
+    }
+}
+
+bool DiskCache::lookupIn(Bucket &B, std::uint64_t Key, std::string &Payload) {
   std::lock_guard<std::mutex> Lock(M);
-  auto It = Index.find(Key);
-  if (It == Index.end()) {
+  auto It = B.Index.find(Key);
+  if (It == B.Index.end()) {
     Stats.Misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -125,11 +163,11 @@ bool DiskCache::lookup(std::uint64_t Key, std::string &Payload) {
   auto Corrupt = [&] {
     Stats.Corrupt.fetch_add(1, std::memory_order_relaxed);
     Stats.Misses.fetch_add(1, std::memory_order_relaxed);
-    removeLocked(Key);
+    removeLocked(B, Key);
     return false;
   };
 
-  std::ifstream In(entryPath(Key), std::ios::binary);
+  std::ifstream In(entryPath(B, Key), std::ios::binary);
   if (!In)
     return Corrupt();
   unsigned char Header[HeaderBytes];
@@ -154,13 +192,22 @@ bool DiskCache::lookup(std::uint64_t Key, std::string &Payload) {
   if (fnv1a(Data) != getLe64(Header + 24))
     return Corrupt();
 
-  Order.splice(Order.end(), Order, It->second); // Refresh recency.
+  B.Order.splice(B.Order.end(), B.Order, It->second.Pos); // Refresh recency.
   Payload = std::move(Data);
   Stats.Hits.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void DiskCache::insert(std::uint64_t Key, const std::string &Payload) {
+bool DiskCache::lookup(std::uint64_t Key, std::string &Payload) {
+  return lookupIn(Results, Key, Payload);
+}
+
+bool DiskCache::lookupMemo(std::uint64_t Key, std::string &Payload) {
+  return lookupIn(Memos, Key, Payload);
+}
+
+void DiskCache::insertIn(Bucket &B, std::uint64_t Key,
+                         const std::string &Payload) {
   std::lock_guard<std::mutex> Lock(M);
 
   unsigned char Header[HeaderBytes];
@@ -188,24 +235,33 @@ void DiskCache::insert(std::uint64_t Key, const std::string &Payload) {
     }
   }
   std::error_code Ec;
-  fs::rename(Tmp, entryPath(Key), Ec);
+  fs::rename(Tmp, entryPath(B, Key), Ec);
   if (Ec) {
     fs::remove(Tmp, Ec);
     return;
   }
   Stats.Writes.fetch_add(1, std::memory_order_relaxed);
 
-  auto It = Index.find(Key);
-  if (It != Index.end()) {
-    Order.splice(Order.end(), Order, It->second);
+  const std::uint64_t Bytes = HeaderBytes + Payload.size();
+  auto It = B.Index.find(Key);
+  if (It != B.Index.end()) {
+    B.Order.splice(B.Order.end(), B.Order, It->second.Pos);
+    B.TotalBytes += Bytes - It->second.Bytes;
+    It->second.Bytes = Bytes;
   } else {
-    Order.push_back(Key);
-    Index[Key] = std::prev(Order.end());
+    B.Order.push_back(Key);
+    B.Index[Key] = {std::prev(B.Order.end()), Bytes};
+    B.TotalBytes += Bytes;
   }
-  while (Index.size() > MaxEntries) {
-    Stats.Evicted.fetch_add(1, std::memory_order_relaxed);
-    removeLocked(Order.front());
-  }
+  evictLocked();
+}
+
+void DiskCache::insert(std::uint64_t Key, const std::string &Payload) {
+  insertIn(Results, Key, Payload);
+}
+
+void DiskCache::insertMemo(std::uint64_t Key, const std::string &Payload) {
+  insertIn(Memos, Key, Payload);
 }
 
 void DiskCache::flush() {
@@ -216,16 +272,20 @@ void DiskCache::flush() {
     if (!Out)
       return;
     Out << "gnt-disk-cache-v1\n"
-        << "entries " << Index.size() << "\n"
+        << "entries " << Results.Index.size() << "\n"
         << "hits " << Stats.Hits.load(std::memory_order_relaxed) << "\n"
         << "misses " << Stats.Misses.load(std::memory_order_relaxed) << "\n"
         << "writes " << Stats.Writes.load(std::memory_order_relaxed) << "\n"
         << "corrupt " << Stats.Corrupt.load(std::memory_order_relaxed)
         << "\n"
         << "evicted " << Stats.Evicted.load(std::memory_order_relaxed)
-        << "\n";
-    for (std::uint64_t Key : Order)
+        << "\n"
+        << "memo-entries " << Memos.Index.size() << "\n"
+        << "memo-bytes " << Memos.TotalBytes << "\n";
+    for (std::uint64_t Key : Results.Order)
       Out << hashToHex(Key) << "\n";
+    for (std::uint64_t Key : Memos.Order)
+      Out << "memo " << hashToHex(Key) << "\n";
   }
   std::error_code Ec;
   fs::rename(Tmp, Dir / "index.txt", Ec);
@@ -233,5 +293,15 @@ void DiskCache::flush() {
 
 unsigned DiskCache::entries() const {
   std::lock_guard<std::mutex> Lock(M);
-  return static_cast<unsigned>(Index.size());
+  return static_cast<unsigned>(Results.Index.size());
+}
+
+unsigned DiskCache::memoEntries() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return static_cast<unsigned>(Memos.Index.size());
+}
+
+std::uint64_t DiskCache::memoBytes() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Memos.TotalBytes;
 }

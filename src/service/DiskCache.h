@@ -27,6 +27,18 @@
 /// first (recency-refreshed on hit); flush() persists a human-readable
 /// index next to the entries for post-mortems and the shutdown path.
 ///
+/// Two entry categories share the directory and the format but are
+/// capped independently, because their economics differ:
+///
+///   - result entries (`.gc`): small rendered responses, capped by
+///     *count* (MaxEntries) — the historical behavior;
+///   - solve memos (`.gm`, lookupMemo/insertMemo): serialized solver
+///     arenas that can be megabytes each, capped by total *bytes*
+///     (MaxMemoBytes, 0 = uncapped) so a handful of giant memos cannot
+///     silently occupy the disk a thousand small results were budgeted
+///     for. Memo eviction is oldest-first within the memo category and
+///     never touches result entries (nor vice versa).
+///
 /// Thread-safe: one internal mutex serializes all filesystem traffic.
 ///
 //===----------------------------------------------------------------------===//
@@ -60,7 +72,11 @@ public:
   /// and every older entry self-invalidates on its next lookup.
   static constexpr char Magic[9] = "GNTDCv1\n";
 
-  DiskCache(std::string Dir, unsigned MaxEntries);
+  /// \p MaxEntries caps result entries by count; \p MaxMemoBytes caps
+  /// memo entries by total on-disk bytes (header + payload), 0 meaning
+  /// uncapped.
+  DiskCache(std::string Dir, unsigned MaxEntries,
+            std::uint64_t MaxMemoBytes = 0);
 
   /// Creates the directory if needed and scans existing entries (oldest
   /// first, by mtime) into the index. Returns false with \p Error set
@@ -76,28 +92,52 @@ public:
   /// is an accelerator, never a correctness dependency.
   void insert(std::uint64_t Key, const std::string &Payload);
 
+  /// Memo-category twins of lookup/insert: same format and the same
+  /// defensive validation, but `.gm` entries budgeted in bytes.
+  bool lookupMemo(std::uint64_t Key, std::string &Payload);
+  void insertMemo(std::uint64_t Key, const std::string &Payload);
+
   /// Persists the index file (entry keys + counters). Called on server
   /// shutdown; safe to call repeatedly.
   void flush();
 
   unsigned entries() const;
+  unsigned memoEntries() const;
+  /// Total on-disk bytes currently held by memo entries.
+  std::uint64_t memoBytes() const;
   const DiskCacheStats &stats() const { return Stats; }
   const std::string &directory() const { return DirName; }
 
 private:
-  std::filesystem::path entryPath(std::uint64_t Key) const;
-  /// Unlinks \p Key's file and drops it from the index (lock held).
-  void removeLocked(std::uint64_t Key);
+  /// One entry category: its own suffix, recency list, and byte total,
+  /// so result-count eviction and memo-byte eviction cannot interact.
+  struct Bucket {
+    const char *Suffix;
+    /// Eviction order, oldest first; refreshed to back on hit/insert.
+    std::list<std::uint64_t> Order;
+    struct Slot {
+      std::list<std::uint64_t>::iterator Pos;
+      std::uint64_t Bytes;
+    };
+    std::unordered_map<std::uint64_t, Slot> Index;
+    std::uint64_t TotalBytes = 0;
+  };
+
+  std::filesystem::path entryPath(const Bucket &B, std::uint64_t Key) const;
+  /// Unlinks \p Key's file and drops it from \p B (lock held).
+  void removeLocked(Bucket &B, std::uint64_t Key);
+  bool lookupIn(Bucket &B, std::uint64_t Key, std::string &Payload);
+  void insertIn(Bucket &B, std::uint64_t Key, const std::string &Payload);
+  void evictLocked();
 
   mutable std::mutex M;
   std::string DirName;
   std::filesystem::path Dir;
   unsigned MaxEntries;
+  std::uint64_t MaxMemoBytes;
 
-  /// Eviction order, oldest first; refreshed to back on hit/insert.
-  std::list<std::uint64_t> Order;
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
-      Index;
+  Bucket Results;
+  Bucket Memos;
 
   DiskCacheStats Stats;
 };

@@ -126,7 +126,7 @@ StageCache::solveSlot(const std::string &SolveOptsKey) {
                  {"pre", &Slot->Ctx.Pre}};
       for (auto &S : Sl) {
         std::string Payload;
-        if (Disk->lookup(memoDiskKey(SolveOptsKey, S.Name), Payload))
+        if (Disk->lookupMemo(memoDiskKey(SolveOptsKey, S.Name), Payload))
           deserializeGntMemo(Payload, *S.Memo); // Corrupt -> stays empty.
       }
     }
@@ -149,7 +149,7 @@ void StageCache::persistSlot(SolveSlot &Slot,
       continue;
     std::string Payload = serializeGntMemo(*S.Memo);
     if (!Payload.empty())
-      Disk->insert(memoDiskKey(SolveOptsKey, S.Name), Payload);
+      Disk->insertMemo(memoDiskKey(SolveOptsKey, S.Name), Payload);
   }
 }
 

@@ -20,6 +20,17 @@
 /// construction and by the masked mutators below; the bitwise AND / OR
 /// / ANDNOT combinations the equations use preserve it automatically.
 ///
+/// Alignment contract (support/SimdKernels.h): the base allocation is
+/// 64-byte aligned and the distance between consecutive rows — the
+/// stride, rowStride() — is padded up to a multiple of 8 words, so a
+/// row that starts a 512-bit load never straddles into its neighbor
+/// and every row starts on a cache-line/lane boundary. The padding
+/// words are storage only: row(), extractRow(), rowNone(), and the
+/// solver all address exactly wordsPerRow() words per row, and
+/// borrowWords exports read exactly that many, so padding can never
+/// leak into results. Debug builds poison Uninit storage (0xA5) to
+/// make any read-before-write or padding leak loud.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GNT_SUPPORT_DATAFLOWMATRIX_H
@@ -46,6 +57,11 @@ public:
   using Word = BitVector::Word;
   static constexpr unsigned WordBits = BitVector::WordBits;
 
+  /// Rows are padded to a multiple of this many words (one 64-byte
+  /// SIMD lane) and the base allocation is aligned to match.
+  static constexpr unsigned LaneWords = 8;
+  static constexpr std::size_t LaneBytes = LaneWords * sizeof(Word);
+
   /// Tag requesting an uninitialized arena (see the tagged constructor).
   struct UninitTag {};
   static constexpr UninitTag Uninit{};
@@ -71,8 +87,17 @@ public:
   DataflowMatrix(unsigned NumRows, unsigned NumBits, UninitTag)
       : NRows(NumRows), NBits(NumBits),
         WPerRow((NumBits + WordBits - 1) / WordBits),
-        NWords(static_cast<std::size_t>(NumRows) * WPerRow),
-        Words(allocWords(NWords)) {}
+        WStride(padStride(WPerRow)),
+        NWords(static_cast<std::size_t>(NumRows) * WStride),
+        Words(allocWords(NWords)) {
+#ifndef NDEBUG
+    // Poison uninitialized storage so a row that is read (or exported)
+    // before being written shows up as garbage with out-of-range tail
+    // bits rather than as plausible leftover zeros.
+    if (NWords)
+      std::memset(Words, 0xA5, NWords * sizeof(Word));
+#endif
+  }
 
   /// Creates the arena zeroed, but lazily: the storage comes straight
   /// from an anonymous mmap, so pages that are never written are
@@ -88,7 +113,8 @@ public:
   DataflowMatrix(unsigned NumRows, unsigned NumBits, LazyZeroedTag)
       : NRows(NumRows), NBits(NumBits),
         WPerRow((NumBits + WordBits - 1) / WordBits),
-        NWords(static_cast<std::size_t>(NumRows) * WPerRow) {
+        WStride(padStride(WPerRow)),
+        NWords(static_cast<std::size_t>(NumRows) * WStride) {
 #if GNT_DATAFLOWMATRIX_HAVE_MMAP
     if (NWords) {
       void *P = ::mmap(nullptr, NWords * sizeof(Word),
@@ -107,7 +133,8 @@ public:
 
   DataflowMatrix(DataflowMatrix &&RHS) noexcept
       : NRows(RHS.NRows), NBits(RHS.NBits), WPerRow(RHS.WPerRow),
-        NWords(RHS.NWords), Words(RHS.Words), Mapped(RHS.Mapped) {
+        WStride(RHS.WStride), NWords(RHS.NWords), Words(RHS.Words),
+        Mapped(RHS.Mapped) {
     RHS.Words = nullptr;
     RHS.NWords = 0;
     RHS.Mapped = false;
@@ -118,6 +145,7 @@ public:
       NRows = RHS.NRows;
       NBits = RHS.NBits;
       WPerRow = RHS.WPerRow;
+      WStride = RHS.WStride;
       NWords = RHS.NWords;
       Words = RHS.Words;
       Mapped = RHS.Mapped;
@@ -135,6 +163,15 @@ public:
   unsigned bits() const { return NBits; }
   unsigned wordsPerRow() const { return WPerRow; }
 
+  /// Words between consecutive row starts; >= wordsPerRow(), padded to
+  /// a LaneWords multiple. The words past wordsPerRow() are padding —
+  /// storage, never data.
+  unsigned rowStride() const { return WStride; }
+
+  /// Total allocated words (rows() * rowStride()), for whole-arena
+  /// copies such as the incremental solver's memo clone.
+  std::size_t storageWords() const { return NWords; }
+
   /// Mask selecting the in-range bits of the last word of a row (all
   /// ones when NumBits is a multiple of the word size or zero).
   Word tailMask() const {
@@ -144,11 +181,11 @@ public:
 
   Word *row(unsigned R) {
     assert(R < NRows && "row out of range");
-    return Words + static_cast<std::size_t>(R) * WPerRow;
+    return Words + static_cast<std::size_t>(R) * WStride;
   }
   const Word *row(unsigned R) const {
     assert(R < NRows && "row out of range");
-    return Words + static_cast<std::size_t>(R) * WPerRow;
+    return Words + static_cast<std::size_t>(R) * WStride;
   }
 
   /// Zeroes every row.
@@ -187,9 +224,32 @@ public:
     return true;
   }
 
+  /// True when every row honors the tail-word invariant (no bits past
+  /// bits() in the last data word). This is the bottom-row contract an
+  /// Uninit writer must establish before rows are exported through
+  /// borrowWords; the solver asserts it in Debug builds, where the
+  /// 0xA5 poison guarantees a never-written row trips it whenever
+  /// bits() is not a word multiple.
+  bool rowsExportable() const {
+    if (!WPerRow)
+      return true;
+    const Word Tail = tailMask();
+    for (unsigned R = 0; R != NRows; ++R)
+      if (row(R)[WPerRow - 1] & ~Tail)
+        return false;
+    return true;
+  }
+
 private:
+  static unsigned padStride(unsigned WordsPerRow) {
+    return (WordsPerRow + LaneWords - 1) / LaneWords * LaneWords;
+  }
+
   static Word *allocWords(std::size_t N) {
-    return N ? new Word[N] : nullptr;
+    if (!N)
+      return nullptr;
+    return static_cast<Word *>(
+        ::operator new(N * sizeof(Word), std::align_val_t(LaneBytes)));
   }
 
   void release() {
@@ -202,13 +262,14 @@ private:
       return;
     }
 #endif
-    delete[] Words;
+    ::operator delete(Words, std::align_val_t(LaneBytes));
     Words = nullptr;
   }
 
   unsigned NRows = 0;
   unsigned NBits = 0;
   unsigned WPerRow = 0;
+  unsigned WStride = 0;
   std::size_t NWords = 0;
   Word *Words = nullptr; ///< Matrix storage; the class is move-only.
   bool Mapped = false;   ///< Storage came from mmap, not new[].

@@ -1,0 +1,227 @@
+//===- support/ShardSchedule.cpp - Work-stealing shard scheduler -----------===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ShardSchedule.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+#if __has_include(<numa.h>)
+// libnuma is optional: when the dev headers happen to be present we use
+// it only to cross-check availability; the topology itself always comes
+// from sysfs so the two paths cannot disagree about node contents.
+#include <numa.h>
+#define GNT_HAVE_LIBNUMA 1
+#endif
+
+using namespace gnt;
+
+std::vector<WorkChunk> gnt::splitRange(unsigned Total, unsigned Parts) {
+  std::vector<WorkChunk> Chunks;
+  if (!Total)
+    return Chunks;
+  Parts = std::min(std::max(Parts, 1u), Total);
+  Chunks.reserve(Parts);
+  for (unsigned S = 0; S != Parts; ++S) {
+    unsigned A = static_cast<unsigned>(
+        static_cast<unsigned long long>(Total) * S / Parts);
+    unsigned B = static_cast<unsigned>(
+        static_cast<unsigned long long>(Total) * (S + 1) / Parts);
+    if (A != B)
+      Chunks.push_back({A, B});
+  }
+  return Chunks;
+}
+
+//===----------------------------------------------------------------------===//
+// NUMA topology
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; returns an
+/// empty list on any malformed input.
+std::vector<int> parseCpuList(const std::string &Text) {
+  std::vector<int> Cpus;
+  std::istringstream In(Text);
+  std::string Piece;
+  while (std::getline(In, Piece, ',')) {
+    while (!Piece.empty() && std::isspace(static_cast<unsigned char>(
+                                 Piece.back())))
+      Piece.pop_back();
+    if (Piece.empty())
+      continue;
+    std::size_t Dash = Piece.find('-');
+    try {
+      if (Dash == std::string::npos) {
+        Cpus.push_back(std::stoi(Piece));
+      } else {
+        int Lo = std::stoi(Piece.substr(0, Dash));
+        int Hi = std::stoi(Piece.substr(Dash + 1));
+        if (Hi < Lo || Hi - Lo > 4096)
+          return {};
+        for (int C = Lo; C <= Hi; ++C)
+          Cpus.push_back(C);
+      }
+    } catch (...) {
+      return {};
+    }
+  }
+  return Cpus;
+}
+
+} // namespace
+
+NumaTopology::NumaTopology() {
+#if defined(__linux__)
+#if GNT_HAVE_LIBNUMA
+  // When libnuma says NUMA is unavailable, trust it and skip the scan:
+  // the kernel would expose a single node anyway.
+  if (numa_available() < 0)
+    return;
+#endif
+  for (unsigned Node = 0;; ++Node) {
+    std::ifstream In("/sys/devices/system/node/node" +
+                     std::to_string(Node) + "/cpulist");
+    if (!In)
+      break;
+    std::string Line;
+    std::getline(In, Line);
+    std::vector<int> Cpus = parseCpuList(Line);
+    if (Cpus.empty())
+      break;
+    NodeCpus.push_back(std::move(Cpus));
+  }
+#endif
+}
+
+const NumaTopology &NumaTopology::get() {
+  static NumaTopology T;
+  return T;
+}
+
+void NumaTopology::pinThreadToNode(unsigned Node) const {
+#if defined(__linux__)
+  if (NodeCpus.size() < 2)
+    return; // Single node (or unknown): placement cannot matter.
+  const std::vector<int> &Cpus = NodeCpus[Node % NodeCpus.size()];
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  for (int C : Cpus)
+    if (C >= 0 && C < CPU_SETSIZE)
+      CPU_SET(C, &Set);
+  // Best effort: a failed pin costs locality, never correctness.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Node;
+#endif
+}
+
+//===----------------------------------------------------------------------===//
+// Work stealing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One worker's chunk queue. A plain mutex per deque is enough here:
+/// chunks are coarse (thousands of words / hundreds of rows each), so
+/// queue traffic is a rounding error next to the sweeps themselves.
+struct ChunkDeque {
+  std::mutex M;
+  std::deque<WorkChunk> Q;
+
+  bool popBack(WorkChunk &C) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.empty())
+      return false;
+    C = Q.back();
+    Q.pop_back();
+    return true;
+  }
+  bool stealFront(WorkChunk &C) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Q.empty())
+      return false;
+    C = Q.front();
+    Q.pop_front();
+    return true;
+  }
+};
+
+} // namespace
+
+void gnt::runChunks(const std::vector<WorkChunk> &Chunks, unsigned Workers,
+                    bool PinNuma, const std::function<void(WorkChunk)> &Fn) {
+  if (Chunks.empty())
+    return;
+  Workers = static_cast<unsigned>(
+      std::min<std::size_t>(std::max(Workers, 1u), Chunks.size()));
+  if (Workers <= 1) {
+    for (const WorkChunk &C : Chunks)
+      Fn(C);
+    return;
+  }
+
+  // Round-robin initial distribution: neighbors land on different
+  // workers, so a hot region of the range is shared rather than
+  // serialized on whoever owned it.
+  std::vector<ChunkDeque> Deques(Workers);
+  for (std::size_t I = 0; I != Chunks.size(); ++I)
+    Deques[I % Workers].Q.push_back(Chunks[I]);
+
+  std::atomic<unsigned> Remaining{static_cast<unsigned>(Chunks.size())};
+  const NumaTopology &Topo = NumaTopology::get();
+
+  auto Work = [&](unsigned Self) {
+    if (PinNuma)
+      Topo.pinThreadToNode(Self % std::max(Topo.nodes(), 1u));
+    WorkChunk C;
+    for (;;) {
+      if (Deques[Self].popBack(C)) {
+        Fn(C);
+        Remaining.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Own deque dry: steal the oldest chunk from the next victim
+      // that has one. Stealing from the *front* takes the chunk the
+      // owner would reach last, minimizing contention on its hot end.
+      bool Stole = false;
+      for (unsigned V = 1; V != Workers; ++V) {
+        if (Deques[(Self + V) % Workers].stealFront(C)) {
+          Fn(C);
+          Remaining.fetch_sub(1, std::memory_order_relaxed);
+          Stole = true;
+          break;
+        }
+      }
+      if (!Stole) {
+        // Every deque is empty; in-flight chunks belong to other
+        // workers and cannot be helped, so this worker is done.
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Workers - 1);
+  for (unsigned T = 1; T != Workers; ++T)
+    Threads.emplace_back(Work, T);
+  Work(0);
+  for (std::thread &T : Threads)
+    T.join();
+  (void)Remaining; // All chunks ran: deques drained and threads joined.
+}

@@ -1,0 +1,82 @@
+//===- support/ShardSchedule.h - Work-stealing shard scheduler -*- C++ -*-===//
+//
+// Part of the GIVE-N-TAKE reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling for the sharded solve. The solver splits the universe's
+/// word range into disjoint windows; because no equation crosses word
+/// lanes, any schedule of any partition produces byte-identical
+/// results, so scheduling is a pure performance decision:
+///
+///  - `splitRange` is the static partition (the historical behavior):
+///    one window per shard, submitted to a FIFO pool.
+///  - `runChunks` is the work-stealing alternative for skewed work —
+///    compressed universes make window costs wildly uneven (all-zero
+///    rows degrade to a memset while segment-dense rows pay the full
+///    expand program), and ItemClasses sizes follow the program, not
+///    the partition. The range is oversplit into several chunks per
+///    worker; each worker drains its own deque from the back and
+///    steals from a victim's front when empty.
+///
+/// NUMA: chunk data is written first by the worker that executes the
+/// chunk (the solver's arenas are allocated untouched), so first-touch
+/// page placement lands each window on the executing worker's node.
+/// `runChunks` additionally pins workers round-robin across the nodes
+/// reported by /sys/devices/system/node (libnuma is consulted for the
+/// node count when the header is available, but is not required), so
+/// on multi-node machines the stolen tail is the only remote traffic.
+/// On single-node machines all of this is a no-op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GNT_SUPPORT_SHARDSCHEDULE_H
+#define GNT_SUPPORT_SHARDSCHEDULE_H
+
+#include <functional>
+#include <vector>
+
+namespace gnt {
+
+/// A half-open index window [Begin, End) of whatever unit the caller
+/// shards over (universe words, arena rows).
+struct WorkChunk {
+  unsigned Begin = 0;
+  unsigned End = 0;
+};
+
+/// Splits [0, Total) into \p Parts balanced half-open chunks (the
+/// same arithmetic the static sharded solve has always used). Parts
+/// is clamped to Total; empty when Total is zero.
+std::vector<WorkChunk> splitRange(unsigned Total, unsigned Parts);
+
+/// The machine's NUMA topology, probed once from sysfs.
+class NumaTopology {
+public:
+  static const NumaTopology &get();
+
+  unsigned nodes() const { return static_cast<unsigned>(NodeCpus.size()); }
+
+  /// Pins the calling thread to the CPUs of \p Node (modulo the node
+  /// count). No-op on single-node machines, unknown topologies, or
+  /// when the platform has no affinity call.
+  void pinThreadToNode(unsigned Node) const;
+
+private:
+  NumaTopology();
+  std::vector<std::vector<int>> NodeCpus; ///< CPU ids per node.
+};
+
+/// Executes \p Fn over every chunk on \p Workers threads with
+/// per-worker deques and work stealing; returns when all chunks ran.
+/// Workers <= 1 (or a single chunk) runs everything inline on the
+/// caller. When \p PinNuma is set and the machine has more than one
+/// node, worker threads are pinned round-robin across nodes before
+/// touching any chunk (first-touch placement).
+void runChunks(const std::vector<WorkChunk> &Chunks, unsigned Workers,
+               bool PinNuma, const std::function<void(WorkChunk)> &Fn);
+
+} // namespace gnt
+
+#endif // GNT_SUPPORT_SHARDSCHEDULE_H

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 using namespace gnt;
 
 TEST(DataflowMatrix, EmptyAndShape) {
@@ -160,6 +162,77 @@ TEST(DataflowMatrix, GntResultCopyOutlivesItsArena) {
     }
   });
 }
+
+TEST(DataflowMatrix, RowsAreLaneAlignedAndStridePadded) {
+  // The SIMD alignment contract (support/SimdKernels.h): base and every
+  // row start on a 64-byte boundary, and the stride is the word count
+  // rounded up to a lane multiple — so a 512-bit load of a row's last
+  // words never straddles into the next row.
+  for (unsigned Bits : {1u, 63u, 64u, 65u, 130u, 512u, 513u}) {
+    DataflowMatrix M(5, Bits);
+    EXPECT_EQ(M.rowStride() % DataflowMatrix::LaneWords, 0u)
+        << "bits " << Bits;
+    EXPECT_GE(M.rowStride(), M.wordsPerRow()) << "bits " << Bits;
+    EXPECT_LT(M.rowStride(), M.wordsPerRow() + DataflowMatrix::LaneWords)
+        << "bits " << Bits;
+    EXPECT_EQ(M.storageWords(),
+              static_cast<std::size_t>(M.rows()) * M.rowStride())
+        << "bits " << Bits;
+    for (unsigned R = 0; R != 5; ++R)
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(M.row(R)) %
+                    DataflowMatrix::LaneBytes,
+                0u)
+          << "bits " << Bits << " row " << R;
+  }
+}
+
+TEST(DataflowMatrix, PaddingNeverLeaksIntoExports) {
+  // Fill the padding words behind every row with garbage through the
+  // raw stride, then check that extraction, comparison, and the
+  // exportability probe see only the data words. This is the
+  // tail-word/padding contract borrowWords exports rely on.
+  for (unsigned Bits : {1u, 63u, 65u, 130u}) {
+    DataflowMatrix M(3, Bits);
+    BitVector V(Bits);
+    for (unsigned I = 0; I < Bits; I += 3)
+      V.set(I);
+    for (unsigned R = 0; R != 3; ++R)
+      M.assignRow(R, V);
+    for (unsigned R = 0; R != 3; ++R) {
+      DataflowMatrix::Word *Row = M.row(R);
+      for (unsigned W = M.wordsPerRow(); W != M.rowStride(); ++W)
+        Row[W] = ~DataflowMatrix::Word(0);
+    }
+    EXPECT_TRUE(M.rowsExportable()) << "bits " << Bits;
+    for (unsigned R = 0; R != 3; ++R) {
+      EXPECT_EQ(M.extractRow(R), V) << "bits " << Bits << " row " << R;
+      BitVector Borrowed = BitVector::borrowWords(M.row(R), Bits);
+      EXPECT_EQ(Borrowed.count(), V.count()) << "bits " << Bits;
+    }
+  }
+}
+
+#ifndef NDEBUG
+TEST(DataflowMatrix, UninitPoisonTripsExportabilityCheck) {
+  // Debug builds poison Uninit storage with 0xA5. For any universe that
+  // is not a word multiple the poison puts bits past bits() in the tail
+  // word, so a never-written row must fail rowsExportable() — this is
+  // what makes the solver's export assert catch missed rows instead of
+  // silently exporting leftover heap bytes.
+  DataflowMatrix M(2, 65, DataflowMatrix::Uninit);
+  EXPECT_FALSE(M.rowsExportable());
+  M.setRow(0);
+  EXPECT_FALSE(M.rowsExportable()); // Row 1 still poisoned.
+  M.setRow(1);
+  EXPECT_TRUE(M.rowsExportable());
+
+  // Word-multiple universes have no out-of-range tail bits to poison;
+  // the check is trivially true there (the poison still makes reads
+  // loud, it just cannot be *detected* as an invariant violation).
+  DataflowMatrix Full(2, 128, DataflowMatrix::Uninit);
+  EXPECT_TRUE(Full.rowsExportable());
+}
+#endif
 
 TEST(DataflowMatrix, RowsAreIndependent) {
   // Adjacent rows share the allocation; writes through row pointers

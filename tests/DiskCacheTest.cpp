@@ -242,6 +242,137 @@ TEST(DiskCacheTest, FlushWritesIndex) {
 }
 
 //===----------------------------------------------------------------------===//
+// Memo category (byte-capped .gm entries)
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCacheTest, MemoRoundTripIsSeparateFromResults) {
+  TempDir Tmp;
+  DiskCache Cache(Tmp.Path, 16);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  // The same key in both categories must resolve independently: the
+  // categories share the directory, never an entry.
+  Cache.insert(0x1111, "result-payload");
+  Cache.insertMemo(0x1111, "memo-payload");
+  std::string Got;
+  ASSERT_TRUE(Cache.lookup(0x1111, Got));
+  EXPECT_EQ(Got, "result-payload");
+  ASSERT_TRUE(Cache.lookupMemo(0x1111, Got));
+  EXPECT_EQ(Got, "memo-payload");
+  EXPECT_EQ(Cache.entries(), 1u);
+  EXPECT_EQ(Cache.memoEntries(), 1u);
+  // A memo lookup for a key present only as a result misses.
+  EXPECT_FALSE(Cache.lookupMemo(0x2222, Got));
+}
+
+TEST(DiskCacheTest, MemoBytesEvictOldestFirst) {
+  TempDir Tmp;
+  // Header is 40 bytes; a 100-byte payload charges 140. Budget of 300
+  // bytes holds two entries, never three.
+  DiskCache Cache(Tmp.Path, 16, /*MaxMemoBytes=*/300);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  const std::string Payload(100, 'm');
+  Cache.insertMemo(1, Payload);
+  Cache.insertMemo(2, Payload);
+  EXPECT_EQ(Cache.memoEntries(), 2u);
+  EXPECT_EQ(Cache.memoBytes(), 280u);
+  Cache.insertMemo(3, Payload);
+  EXPECT_EQ(Cache.memoEntries(), 2u);
+  std::string Got;
+  EXPECT_FALSE(Cache.lookupMemo(1, Got)); // Oldest evicted.
+  EXPECT_TRUE(Cache.lookupMemo(2, Got));
+  EXPECT_TRUE(Cache.lookupMemo(3, Got));
+  EXPECT_EQ(Cache.stats().Evicted.load(), 1u);
+}
+
+TEST(DiskCacheTest, MemoEvictionNeverTouchesResults) {
+  TempDir Tmp;
+  DiskCache Cache(Tmp.Path, 16, /*MaxMemoBytes=*/150);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  Cache.insert(7, std::string(500, 'r')); // Far over the *memo* budget.
+  Cache.insertMemo(8, std::string(100, 'a'));
+  Cache.insertMemo(9, std::string(100, 'b')); // Evicts memo 8 only.
+  std::string Got;
+  EXPECT_TRUE(Cache.lookup(7, Got));
+  EXPECT_EQ(Got.size(), 500u);
+  EXPECT_FALSE(Cache.lookupMemo(8, Got));
+  EXPECT_TRUE(Cache.lookupMemo(9, Got));
+  EXPECT_EQ(Cache.entries(), 1u);
+  EXPECT_EQ(Cache.memoEntries(), 1u);
+}
+
+TEST(DiskCacheTest, MemoBudgetSurvivesReopen) {
+  TempDir Tmp;
+  {
+    DiskCache Cache(Tmp.Path, 16, /*MaxMemoBytes=*/400);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+    Cache.insertMemo(1, std::string(100, 'x'));
+    Cache.insertMemo(2, std::string(100, 'y'));
+  }
+  {
+    // Reopen under a tighter budget: the scan must charge the on-disk
+    // sizes and evict oldest-first down to the cap.
+    DiskCache Cache(Tmp.Path, 16, /*MaxMemoBytes=*/150);
+    std::string Error;
+    ASSERT_TRUE(Cache.open(Error)) << Error;
+    EXPECT_EQ(Cache.memoEntries(), 1u);
+    std::string Got;
+    EXPECT_FALSE(Cache.lookupMemo(1, Got));
+    ASSERT_TRUE(Cache.lookupMemo(2, Got));
+    EXPECT_EQ(Got, std::string(100, 'y'));
+  }
+}
+
+TEST(DiskCacheTest, UncappedMemosNeverEvict) {
+  TempDir Tmp;
+  DiskCache Cache(Tmp.Path, 1, /*MaxMemoBytes=*/0);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  for (std::uint64_t K = 1; K <= 8; ++K)
+    Cache.insertMemo(K, std::string(64, 'z'));
+  EXPECT_EQ(Cache.memoEntries(), 8u);
+  EXPECT_EQ(Cache.stats().Evicted.load(), 0u);
+}
+
+TEST(DiskCacheTest, CorruptMemoRecomputedNotServed) {
+  TempDir Tmp;
+  DiskCache Cache(Tmp.Path, 16, /*MaxMemoBytes=*/0);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  Cache.insertMemo(0xabcd, "memo-data");
+  fs::path Entry;
+  for (const auto &E : fs::directory_iterator(Tmp.Path))
+    if (E.path().extension() == ".gm")
+      Entry = E.path();
+  ASSERT_FALSE(Entry.empty());
+  flipByteAt(Entry, 45); // Payload byte.
+  std::string Got;
+  EXPECT_FALSE(Cache.lookupMemo(0xabcd, Got));
+  EXPECT_EQ(Cache.stats().Corrupt.load(), 1u);
+  EXPECT_EQ(Cache.memoEntries(), 0u); // Discarded, not retried forever.
+}
+
+TEST(DiskCacheTest, FlushReportsMemoCounters) {
+  TempDir Tmp;
+  DiskCache Cache(Tmp.Path, 16);
+  std::string Error;
+  ASSERT_TRUE(Cache.open(Error)) << Error;
+  Cache.insertMemo(0xfeed, std::string(10, 'q'));
+  Cache.flush();
+  std::ifstream F(fs::path(Tmp.Path) / "index.txt");
+  ASSERT_TRUE(F.good());
+  std::string Contents((std::istreambuf_iterator<char>(F)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(Contents.find("memo-entries 1"), std::string::npos) << Contents;
+  EXPECT_NE(Contents.find("memo-bytes 50"), std::string::npos) << Contents;
+  EXPECT_NE(Contents.find("memo 000000000000feed"), std::string::npos)
+      << Contents;
+}
+
+//===----------------------------------------------------------------------===//
 // Through the BatchServer
 //===----------------------------------------------------------------------===//
 

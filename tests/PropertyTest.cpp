@@ -26,6 +26,7 @@
 #include "service/Pipeline.h"
 #include "service/StageCache.h"
 #include "sim/TraceSimulator.h"
+#include "support/SimdKernels.h"
 
 #include <gtest/gtest.h>
 
@@ -286,6 +287,51 @@ TEST_P(ShardInvariance, CompressionIsInvisibleInResultSignature) {
       EXPECT_GT(R.CompressedUniverse, 0u) << "shards " << Shards;
     }
     EXPECT_LE(R.compressionRatio(), 1.0) << "shards " << Shards;
+  }
+}
+
+/// The full strategy grid: every SIMD kernel variant this machine can
+/// run x {1, 2, 7, 16} shards x compression on/off x work stealing
+/// on/off, every cell byte-compared against the classic per-equation
+/// oracle. The kernel registry, the lane-padded arena, the word-window
+/// partition, the oversplit stealing scheduler, and the class
+/// compression all sit below this contract; a divergence in any one of
+/// them fails with the exact cell named.
+TEST_P(ShardInvariance, KernelShardCompressStealGridMatchesClassic) {
+  auto B = buildProgram(makeProgram(GetParam(), 40, 0.1));
+  ASSERT_TRUE(B.has_value());
+  CommPlan Plan = generateComm(B->Prog, B->G, B->Ifg);
+  for (const std::optional<GntRun> *Slot : {&Plan.ReadRun, &Plan.WriteRun}) {
+    ASSERT_TRUE(Slot->has_value());
+    const GntRun &Run = **Slot;
+    const char *Problem =
+        Run.OrientedProblem.Dir == Direction::Before ? "READ" : "WRITE";
+    GntResult Classic =
+        solveGiveNTakeClassic(Run.OrientedIfg, Run.OrientedProblem);
+    for (const SolverKernels *K : availableSolverKernels()) {
+      detail::ScopedKernelOverride Force(*K);
+      for (unsigned Shards : {1u, 2u, 7u, 16u}) {
+        for (bool Compress : {false, true}) {
+          for (bool Steal : {false, true}) {
+            GntShardPolicy Policy;
+            Policy.WorkStealing = Steal;
+            std::string How = std::string("kernel=") + K->Name +
+                              " shards=" + std::to_string(Shards) +
+                              (Compress ? " compressed" : "") +
+                              (Steal ? " steal" : " static");
+            GntResult Got =
+                Compress
+                    ? solveGiveNTakeCompressed(Run.OrientedIfg,
+                                               Run.OrientedProblem, Shards,
+                                               &Policy)
+                    : solveGiveNTakeSharded(Run.OrientedIfg,
+                                            Run.OrientedProblem, Shards,
+                                            Policy);
+            expectResultsIdentical(Classic, Got, Problem, How);
+          }
+        }
+      }
+    }
   }
 }
 

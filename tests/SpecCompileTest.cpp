@@ -314,7 +314,10 @@ TEST(SpecCompile, BatchServerServesAnalysesDeterministically) {
            "\", \"options\": {\"analyses\": [\"liveness\", \"reaching\"]" +
            Extra + "}}";
   };
-  BatchServer Serial({/*Workers=*/0, /*CacheCapacity=*/0});
+  ServiceConfig SerialCfg;
+  SerialCfg.Workers = 0;
+  SerialCfg.CacheCapacity = 0;
+  BatchServer Serial(SerialCfg);
   std::vector<std::string> A = Serial.run({Line("")});
   std::vector<std::string> B =
       Serial.run({Line(", \"solver_shards\": 7, \"compress_universe\": true")});

@@ -287,14 +287,14 @@ std::string persistedReadMemo(DiskCache &Disk) {
       StageCache::solveOptionsKey(incrementalOptions());
   std::string Payload;
   EXPECT_TRUE(
-      Disk.lookup(StageCache::memoDiskKey(SolveOpts, "read"), Payload));
+      Disk.lookupMemo(StageCache::memoDiskKey(SolveOpts, "read"), Payload));
   return Payload;
 }
 
 void storeReadMemo(DiskCache &Disk, const std::string &Payload) {
   std::string SolveOpts =
       StageCache::solveOptionsKey(incrementalOptions());
-  Disk.insert(StageCache::memoDiskKey(SolveOpts, "read"), Payload);
+  Disk.insertMemo(StageCache::memoDiskKey(SolveOpts, "read"), Payload);
 }
 
 /// Incremental solver stats of one compile of \p Source against a

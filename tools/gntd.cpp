@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -67,6 +68,7 @@ struct Options {
   // Persistent cache (both modes).
   std::string DiskCache;
   unsigned DiskCacheEntries = 4096;
+  std::uint64_t DiskCacheMemoBytes = 64ull << 20;
 };
 
 void usage(std::FILE *To) {
@@ -86,6 +88,9 @@ void usage(std::FILE *To) {
       "  --disk-cache DIR     persistent result cache directory; entries\n"
       "                       survive restarts (default: off)\n"
       "  --disk-cache-entries N  persistent cache capacity (default 4096)\n"
+      "  --disk-cache-memo-bytes N  byte budget for persisted solve\n"
+      "                       memos, evicted oldest-first (default\n"
+      "                       67108864; 0 = uncapped)\n"
       "  --metrics-json F     write service metrics as JSON to file F\n"
       "                       (`-` appends to stdout after the responses)\n"
       "  --quiet              suppress the text metrics summary on stderr\n"
@@ -121,6 +126,22 @@ bool parseUnsigned(const char *Arg, const char *Flag, unsigned &Out,
     return false;
   }
   Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// 64-bit variant for byte budgets, which can legitimately exceed the
+/// 32-bit flag ceiling.
+bool parseUnsigned64(const char *Arg, const char *Flag, std::uint64_t &Out,
+                     std::uint64_t Max = std::uint64_t{1} << 40) {
+  char *End = nullptr;
+  long long V = std::strtoll(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || V < 0 ||
+      static_cast<std::uint64_t>(V) > Max) {
+    std::fprintf(stderr, "gntd: %s needs an integer in [0, %llu], got %s\n",
+                 Flag, static_cast<unsigned long long>(Max), Arg);
+    return false;
+  }
+  Out = static_cast<std::uint64_t>(V);
   return true;
 }
 
@@ -167,6 +188,11 @@ bool parseArgs(int Argc, char **Argv, Options &O, int &Exit) {
     } else if (A == "--disk-cache-entries") {
       if (!(V = Value(I, "--disk-cache-entries")) ||
           !parseUnsigned(V, "--disk-cache-entries", O.DiskCacheEntries))
+        return false;
+    } else if (A == "--disk-cache-memo-bytes") {
+      if (!(V = Value(I, "--disk-cache-memo-bytes")) ||
+          !parseUnsigned64(V, "--disk-cache-memo-bytes",
+                           O.DiskCacheMemoBytes))
         return false;
     } else if (A == "--metrics-json") {
       if (!(V = Value(I, "--metrics-json")))
@@ -393,6 +419,7 @@ int main(int Argc, char **Argv) {
   Config.CacheCapacity = O.CacheSize;
   Config.DiskCachePath = O.DiskCache;
   Config.DiskCacheCapacity = O.DiskCacheEntries;
+  Config.DiskCacheMemoBytes = O.DiskCacheMemoBytes;
 
   return O.Stdio ? runBatch(O, std::move(Config))
                  : runSocket(O, std::move(Config));
